@@ -1,0 +1,135 @@
+// Shared harness for the table/figure reproduction benches.
+//
+// Every bench binary prints the same rows/series its paper counterpart
+// reports and writes a CSV under ./bench_results/. Two modes:
+//   quick (default): 1 seed, reduced epochs/candidate budgets — minutes.
+//   full (GRGAD_BENCH_FULL=1): 3 seeds, paper-scale settings.
+// Absolute values differ from the paper's testbed (synthetic data, CPU
+// simulator); the *shape* — method ranking, CR gap, ablation ordering — is
+// what these benches reproduce (see EXPERIMENTS.md).
+#ifndef GRGAD_BENCH_BENCH_COMMON_H_
+#define GRGAD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/as_gae.h"
+#include "src/baselines/deepfd.h"
+#include "src/baselines/group_extraction.h"
+#include "src/core/evaluation.h"
+#include "src/core/pipeline.h"
+#include "src/data/registry.h"
+#include "src/gae/comga.h"
+#include "src/gae/deep_ae.h"
+#include "src/gae/dominant.h"
+#include "src/util/csv.h"
+#include "src/util/timer.h"
+
+namespace grgad::bench {
+
+/// Global bench configuration derived from the environment.
+struct BenchConfig {
+  bool full = false;
+  int seeds = 1;
+  int gae_epochs = 40;
+  int tpgcl_epochs = 30;
+  int max_candidate_groups = 800;
+
+  static BenchConfig FromEnv() {
+    BenchConfig config;
+    const char* env = std::getenv("GRGAD_BENCH_FULL");
+    config.full = (env != nullptr && env[0] == '1');
+    if (config.full) {
+      config.seeds = 3;
+      config.gae_epochs = 80;
+      config.tpgcl_epochs = 60;
+      config.max_candidate_groups = 1600;
+    }
+    return config;
+  }
+};
+
+/// The five evaluation datasets in Table I order.
+inline std::vector<std::string> BenchDatasets() {
+  return {"simml", "cora-group", "citeseer-group", "amlpublic", "ethereum"};
+}
+
+/// Builds the configured TP-GrGAD options for one (config, seed) pair.
+inline TpGrGadOptions MakeTpGrGadOptions(const BenchConfig& config,
+                                         uint64_t seed) {
+  TpGrGadOptions options;
+  options.seed = seed;
+  options.mh_gae.base.epochs = config.gae_epochs;
+  options.tpgcl.epochs = config.tpgcl_epochs;
+  options.tpgcl.neg_per_sample = 16;
+  options.sampler.max_groups = config.max_candidate_groups;
+  options.ReseedStages();
+  return options;
+}
+
+/// All six Table III methods, freshly constructed per seed.
+inline std::vector<std::unique_ptr<GroupDetector>> MakeAllMethods(
+    const BenchConfig& config, uint64_t seed) {
+  std::vector<std::unique_ptr<GroupDetector>> methods;
+  GaeOptions gae;
+  gae.epochs = config.gae_epochs;
+  gae.seed = seed;
+  GroupExtractionOptions extraction;  // N-GAD -> group adapter, 10% nodes.
+  methods.push_back(std::make_unique<NodeScorerGroupAdapter>(
+      std::make_shared<Dominant>(gae), extraction));
+  DeepAeOptions deep_ae;
+  deep_ae.epochs = config.gae_epochs;
+  deep_ae.seed = seed ^ 0x10;
+  methods.push_back(std::make_unique<NodeScorerGroupAdapter>(
+      std::make_shared<DeepAe>(deep_ae), extraction));
+  ComGaOptions comga;
+  comga.epochs = config.gae_epochs;
+  comga.seed = seed ^ 0x20;
+  methods.push_back(std::make_unique<NodeScorerGroupAdapter>(
+      std::make_shared<ComGa>(comga), extraction));
+  DeepFdOptions deepfd;
+  deepfd.epochs = config.gae_epochs;
+  deepfd.seed = seed ^ 0x30;
+  methods.push_back(std::make_unique<DeepFd>(deepfd));
+  AsGaeOptions as_gae;
+  as_gae.gae.epochs = config.gae_epochs;
+  as_gae.gae.seed = seed ^ 0x40;
+  methods.push_back(std::make_unique<AsGae>(as_gae));
+  methods.push_back(
+      std::make_unique<TpGrGad>(MakeTpGrGadOptions(config, seed)));
+  return methods;
+}
+
+/// Ensures ./bench_results exists and returns "bench_results/<name>".
+inline std::string ResultPath(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  return "bench_results/" + name;
+}
+
+/// Writes the CSV and reports where it went.
+inline void EmitCsv(const CsvWriter& csv, const std::string& name) {
+  const std::string path = ResultPath(name);
+  const Status s = csv.WriteFile(path);
+  if (s.ok()) {
+    std::printf("  -> wrote %s\n", path.c_str());
+  } else {
+    std::printf("  !! could not write %s: %s\n", path.c_str(),
+                s.ToString().c_str());
+  }
+}
+
+/// Section banner.
+inline void Banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace grgad::bench
+
+#endif  // GRGAD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,104 @@
+// Fig. 3 / Fig. 8 reproduction: the qualitative example graph. Four
+// GAE-style detectors (DOMINANT, DeepAE, ComGA, MH-GAE) score the nodes of
+// a graph with three planted anomaly groups; we report, per method, the
+// detected-node mask, group coverage, interior recall (the nodes "deep in
+// the group" that the paper shows vanilla methods missing), and the
+// connected-component fragment sizes — the data behind the red-node plots.
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "src/data/example_graph.h"
+#include "src/gae/mh_gae.h"
+#include "src/graph/algorithms.h"
+#include "src/metrics/classification.h"
+
+namespace grgad::bench {
+namespace {
+
+int Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  Banner("Fig. 8: GAE-based detectors on the example graph");
+  DatasetOptions data_options;
+  data_options.seed = 42;
+  const Dataset d = GenExampleGraph(data_options);
+  const auto labels = d.NodeLabels();
+  const int num_anomalous = std::accumulate(labels.begin(), labels.end(), 0);
+  std::printf("example graph: %d nodes, %d edges, %zu planted groups "
+              "(%d anomalous nodes)\n",
+              d.graph.num_nodes(), d.graph.num_edges(),
+              d.anomaly_groups.size(), num_anomalous);
+
+  // Interior nodes: all neighbors inside the same group (Fig. 3's "deep
+  // inside" nodes).
+  std::vector<int> interior(d.graph.num_nodes(), 0);
+  for (const auto& group : d.anomaly_groups) {
+    for (int v : group) {
+      bool deep = true;
+      for (int w : d.graph.Neighbors(v)) deep &= (labels[w] == 1);
+      if (deep) interior[v] = 1;
+    }
+  }
+  const int num_interior = std::accumulate(interior.begin(), interior.end(),
+                                           0);
+
+  GaeOptions gae;
+  gae.epochs = config.gae_epochs;
+  std::vector<std::pair<std::string, std::shared_ptr<NodeScorer>>> scorers;
+  scorers.emplace_back("dominant", std::make_shared<Dominant>(gae));
+  DeepAeOptions deep_ae;
+  deep_ae.epochs = config.gae_epochs;
+  scorers.emplace_back("deepae", std::make_shared<DeepAe>(deep_ae));
+  ComGaOptions comga;
+  comga.epochs = config.gae_epochs;
+  scorers.emplace_back("comga", std::make_shared<ComGa>(comga));
+  MhGaeOptions mh;
+  mh.base.epochs = config.gae_epochs;
+  scorers.emplace_back("mh-gae", std::make_shared<MhGae>(mh));
+
+  CsvWriter csv({"method", "node_auc", "detected", "group_recall",
+                 "interior_recall", "num_fragments", "largest_fragment"});
+  std::printf("\n%-10s %9s %9s %13s %16s %11s %9s\n", "method", "node_auc",
+              "detected", "group_recall", "interior_recall", "fragments",
+              "largest");
+  for (const auto& [name, scorer] : scorers) {
+    const auto scores = scorer->FitNodeScores(d.graph);
+    // Flag the same number of nodes as there are anomalous ones.
+    const auto flagged = LabelsAtContamination(
+        scores, static_cast<double>(num_anomalous) / d.graph.num_nodes());
+    std::vector<int> flagged_nodes;
+    int hit = 0, interior_hit = 0;
+    for (int v = 0; v < d.graph.num_nodes(); ++v) {
+      if (flagged[v] == 1) {
+        flagged_nodes.push_back(v);
+        hit += labels[v];
+        interior_hit += interior[v];
+      }
+    }
+    const auto fragments = ComponentsOfSubset(d.graph, flagged_nodes);
+    size_t largest = 0;
+    for (const auto& f : fragments) largest = std::max(largest, f.size());
+    const double auc = RocAuc(labels, scores);
+    const double recall = static_cast<double>(hit) / num_anomalous;
+    const double interior_recall =
+        num_interior > 0 ? static_cast<double>(interior_hit) / num_interior
+                         : 0.0;
+    std::printf("%-10s %9.3f %6zu/%-2d %13.3f %16.3f %11zu %9zu\n",
+                name.c_str(), auc, flagged_nodes.size(), num_anomalous,
+                recall, interior_recall, fragments.size(), largest);
+    csv.AppendRow({name, FormatDouble(auc),
+                   std::to_string(flagged_nodes.size()),
+                   FormatDouble(recall), FormatDouble(interior_recall),
+                   std::to_string(fragments.size()),
+                   std::to_string(largest)});
+  }
+  std::printf("\nShape to observe (paper Fig. 8): mh-gae leads group recall\n"
+              "and interior recall; the vanilla methods' detections\n"
+              "fragment into many small components.\n");
+  EmitCsv(csv, "fig8_example.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace grgad::bench
+
+int main() { return grgad::bench::Run(); }

@@ -1,0 +1,167 @@
+// google-benchmark microbenchmarks for the substrates: dense/sparse linear
+// algebra, graph algorithms, GraphSNN weighting, detectors, and one TPGCL
+// training epoch. These are throughput references, not paper figures.
+#include <benchmark/benchmark.h>
+
+#include "src/data/example_graph.h"
+#include "src/gcl/tpgcl.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/graphsnn.h"
+#include "src/graph/operators.h"
+#include "src/od/ecod.h"
+#include "src/od/iforest.h"
+#include "src/sampling/pattern_search.h"
+#include "src/tensor/matrix.h"
+#include "src/util/rng.h"
+#include "src/viz/tsne.h"
+
+namespace grgad {
+namespace {
+
+Matrix RandomMatrix(size_t r, size_t c, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Gaussian(r, c, &rng);
+}
+
+Graph BenchGraph(int n, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (int v = 1; v < n; ++v) {
+    b.AddEdge(v, static_cast<int>(rng.UniformInt(static_cast<uint64_t>(v))));
+  }
+  for (int e = 0; e < n; ++e) {
+    const int u = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const int v = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    if (u != v) b.AddEdge(u, v);
+  }
+  Matrix x = Matrix::Gaussian(n, 16, &rng);
+  return b.Build(std::move(x));
+}
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Matrix a = RandomMatrix(n, n, 1);
+  Matrix b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DenseMatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TallSkinnyMatMul(benchmark::State& state) {
+  // The GCN shape: (n x d) * (d x h).
+  Matrix a = RandomMatrix(4096, 256, 3);
+  Matrix b = RandomMatrix(256, 64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+}
+BENCHMARK(BM_TallSkinnyMatMul);
+
+void BM_Spmm(benchmark::State& state) {
+  const int n = state.range(0);
+  Graph g = BenchGraph(n, 5);
+  auto op = NormalizedAdjacency(g);
+  Matrix x = RandomMatrix(n, 64, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Spmm(x));
+  }
+  state.SetItemsProcessed(state.iterations() * op->nnz() * 64);
+}
+BENCHMARK(BM_Spmm)->Arg(1000)->Arg(10000);
+
+void BM_BfsDistances(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BfsDistances(g, 0));
+  }
+}
+BENCHMARK(BM_BfsDistances)->Arg(1000)->Arg(10000);
+
+void BM_CyclesThrough(benchmark::State& state) {
+  Graph g = BenchGraph(2000, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CyclesThrough(g, 0, 8, 32));
+  }
+}
+BENCHMARK(BM_CyclesThrough);
+
+void BM_GraphSnnWeights(benchmark::State& state) {
+  Graph g = BenchGraph(state.range(0), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphSnnAdjacency(g));
+  }
+}
+BENCHMARK(BM_GraphSnnWeights)->Arg(1000)->Arg(5000);
+
+void BM_StandardizedPower(benchmark::State& state) {
+  Graph g = BenchGraph(2000, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StandardizedPower(g, state.range(0)));
+  }
+}
+BENCHMARK(BM_StandardizedPower)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_PatternSearch(benchmark::State& state) {
+  Graph g = BenchGraph(200, 11);
+  std::vector<int> group;
+  for (int v = 0; v < 24; ++v) group.push_back(v);
+  Graph sub = g.InducedSubgraph(group);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SearchPatterns(sub));
+  }
+}
+BENCHMARK(BM_PatternSearch);
+
+void BM_Ecod(benchmark::State& state) {
+  Matrix x = RandomMatrix(state.range(0), 64, 12);
+  Ecod ecod;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecod.FitScore(x));
+  }
+}
+BENCHMARK(BM_Ecod)->Arg(256)->Arg(1024);
+
+void BM_IsolationForest(benchmark::State& state) {
+  Matrix x = RandomMatrix(512, 64, 13);
+  IsolationForestOptions options;
+  options.num_trees = 50;
+  IsolationForest forest(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.FitScore(x));
+  }
+}
+BENCHMARK(BM_IsolationForest);
+
+void BM_TsneIterations(benchmark::State& state) {
+  Matrix x = RandomMatrix(128, 32, 14);
+  TsneOptions options;
+  options.iterations = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tsne(x, options));
+  }
+}
+BENCHMARK(BM_TsneIterations);
+
+void BM_TpgclEpoch(benchmark::State& state) {
+  DatasetOptions data_options;
+  data_options.seed = 1;
+  const Dataset d = GenExampleGraph(data_options);
+  std::vector<std::vector<int>> candidates = d.anomaly_groups;
+  for (int i = 0; i < 20; ++i) {
+    candidates.push_back({i, i + 1, i + 2, i + 3});
+  }
+  for (auto _ : state) {
+    TpgclOptions options;
+    options.epochs = 1;
+    Tpgcl tpgcl(options);
+    benchmark::DoNotOptimize(tpgcl.FitEmbed(d.graph, candidates));
+  }
+}
+BENCHMARK(BM_TpgclEpoch);
+
+}  // namespace
+}  // namespace grgad
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table II reproduction: topology-pattern statistics of the anomaly groups
+// in the two real-world-style datasets, classified by ClassifyGroupPattern
+// on each ground-truth group's induced subgraph.
+#include "bench/bench_common.h"
+#include "src/sampling/pattern_search.h"
+
+namespace grgad::bench {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int paths, trees, cycles, total;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"amlpublic", 18, 1, 0, 19},
+    {"ethereum", 1, 9, 7, 17},
+};
+
+int Run() {
+  Banner("Table II: topology pattern statistics (ours vs paper)");
+  std::printf("%-12s %14s %14s %14s %14s\n", "Dataset", "#Path (paper)",
+              "#Tree (paper)", "#Cycle (paper)", "#Total (paper)");
+  CsvWriter csv({"dataset", "paths", "trees", "cycles", "mixed", "total",
+                 "paper_paths", "paper_trees", "paper_cycles"});
+  for (const PaperRow& row : kPaperRows) {
+    DatasetOptions options;
+    options.seed = 42;
+    auto result = MakeDataset(row.name, options);
+    if (!result.ok()) return 1;
+    const Dataset& d = result.value();
+    int counts[4] = {0, 0, 0, 0};
+    for (const auto& group : d.anomaly_groups) {
+      const Graph sub = d.graph.InducedSubgraph(group);
+      counts[static_cast<int>(ClassifyGroupPattern(sub))]++;
+    }
+    std::printf("%-12s %6d (%4d) %6d (%4d) %6d (%4d) %6zu (%4d)\n", row.name,
+                counts[0], row.paths, counts[1], row.trees, counts[2],
+                row.cycles, d.anomaly_groups.size(), row.total);
+    if (counts[3] > 0) {
+      std::printf("  (%d groups classified as mixed: background chords on "
+                  "planted patterns)\n",
+                  counts[3]);
+    }
+    csv.AppendRow({row.name, std::to_string(counts[0]),
+                   std::to_string(counts[1]), std::to_string(counts[2]),
+                   std::to_string(counts[3]),
+                   std::to_string(d.anomaly_groups.size()),
+                   std::to_string(row.paths), std::to_string(row.trees),
+                   std::to_string(row.cycles)});
+  }
+  EmitCsv(csv, "table2_patterns.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace grgad::bench
+
+int main() { return grgad::bench::Run(); }

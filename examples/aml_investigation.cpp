@@ -1,0 +1,90 @@
+// AML investigation: detect money-laundering chains in a bank transaction
+// graph (the paper's motivating scenario, Fig. 1).
+//
+//   $ ./build/examples/aml_investigation [scale]
+//
+// Runs TP-GrGAD against an AMLPublic-style graph whose laundering rings are
+// long transaction paths, contrasts it with a node-level detector piped
+// through connected components (what an off-the-shelf N-GAD deployment
+// does), and writes the flagged rings to aml_flagged_groups.csv for a case
+// management system.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/baselines/group_extraction.h"
+#include "src/core/evaluation.h"
+#include "src/core/pipeline.h"
+#include "src/data/aml_public.h"
+#include "src/gae/dominant.h"
+#include "src/sampling/pattern_search.h"
+#include "src/util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace grgad;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+  DatasetOptions data_options;
+  data_options.seed = 2024;
+  data_options.scale = scale;
+  const Dataset dataset = GenAmlPublic(data_options);
+  std::printf("transaction graph: %d accounts, %d transfers, "
+              "%zu laundering rings (avg %.1f accounts each)\n",
+              dataset.graph.num_nodes(), dataset.graph.num_edges(),
+              dataset.anomaly_groups.size(), dataset.AverageGroupSize());
+
+  // --- TP-GrGAD, tuned for chain-shaped groups: deeper path budget. ---
+  TpGrGadOptions options;
+  options.seed = 1;
+  options.mh_gae.base.epochs = 50;
+  options.sampler.max_group_size = 32;  // Rings run ~19 accounts long.
+  options.tpgcl.epochs = 40;
+  options.ReseedStages();
+  TpGrGad detector(options);
+  const auto groups = detector.DetectGroups(dataset.graph);
+  const GroupEvaluation ours = EvaluateGroups(dataset, groups);
+
+  // --- What a node-level deployment would find. ---
+  GaeOptions gae;
+  gae.epochs = 50;
+  NodeScorerGroupAdapter node_level(std::make_shared<Dominant>(gae));
+  const GroupEvaluation theirs =
+      EvaluateGroups(dataset, node_level.DetectGroups(dataset.graph));
+
+  std::printf("\n%-22s %8s %8s %8s %10s\n", "method", "CR", "F1", "AUC",
+              "avg size");
+  std::printf("%-22s %8.3f %8.3f %8.3f %10.2f\n", "tp-grgad", ours.cr,
+              ours.f1, ours.auc, ours.avg_predicted_size);
+  std::printf("%-22s %8.3f %8.3f %8.3f %10.2f\n", "dominant+components",
+              theirs.cr, theirs.f1, theirs.auc, theirs.avg_predicted_size);
+
+  // --- Export the top flagged rings with their topology classification. ---
+  std::vector<ScoredGroup> ranked = groups;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredGroup& a, const ScoredGroup& b) {
+              return a.score > b.score;
+            });
+  CsvWriter csv({"rank", "score", "pattern", "num_accounts", "accounts"});
+  const size_t top_k = std::min<size_t>(20, ranked.size());
+  std::printf("\ntop flagged rings:\n");
+  for (size_t i = 0; i < top_k; ++i) {
+    const Graph sub = dataset.graph.InducedSubgraph(ranked[i].nodes);
+    const char* pattern = ToString(ClassifyGroupPattern(sub));
+    if (i < 5) {
+      std::printf("  #%zu score %.3f  %s of %zu accounts\n", i + 1,
+                  ranked[i].score, pattern, ranked[i].nodes.size());
+    }
+    std::string accounts;
+    for (int v : ranked[i].nodes) {
+      if (!accounts.empty()) accounts += ' ';
+      accounts += std::to_string(v);
+    }
+    csv.AppendRow({std::to_string(i + 1), FormatDouble(ranked[i].score),
+                   pattern, std::to_string(ranked[i].nodes.size()),
+                   accounts});
+  }
+  const Status s = csv.WriteFile("aml_flagged_groups.csv");
+  std::printf("\n%s\n", s.ok() ? "wrote aml_flagged_groups.csv"
+                               : s.ToString().c_str());
+  return 0;
+}

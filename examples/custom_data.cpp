@@ -1,0 +1,75 @@
+// Bring-your-own-graph: run TP-GrGAD on data loaded from disk.
+//
+//   $ ./build/examples/custom_data [prefix]
+//
+// With no argument, writes a small demo dataset to /tmp and reloads it —
+// exactly the flow a user follows with their own edge list + attribute CSV:
+//
+//   my_graph.edges   "u v" per line
+//   my_graph.attrs   one CSV row of doubles per node
+//   my_graph.groups  (optional, for evaluation) "pattern: id id ..." lines
+#include <cstdio>
+#include <string>
+
+#include "src/core/evaluation.h"
+#include "src/core/pipeline.h"
+#include "src/data/io.h"
+#include "src/data/simml.h"
+
+int main(int argc, char** argv) {
+  using namespace grgad;
+  std::string prefix;
+  if (argc > 1) {
+    prefix = argv[1];
+  } else {
+    // Demo: persist a small simML instance and pretend it is user data.
+    prefix = "/tmp/grgad_custom_demo";
+    DatasetOptions demo;
+    demo.seed = 5;
+    demo.scale = 0.25;
+    const Status s = SaveDataset(GenSimMl(demo), prefix);
+    if (!s.ok()) {
+      std::printf("could not write demo data: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("(no prefix given; wrote demo data to %s.*)\n",
+                prefix.c_str());
+  }
+
+  Result<Dataset> loaded = LoadDataset(prefix, "custom");
+  if (!loaded.ok()) {
+    std::printf("failed to load %s.*: %s\n", prefix.c_str(),
+                loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset& dataset = loaded.value();
+  if (!dataset.graph.has_attributes()) {
+    std::printf("no %s.attrs found — TP-GrGAD needs node attributes\n",
+                prefix.c_str());
+    return 1;
+  }
+  std::printf("loaded: %d nodes, %d edges, %zu-d attributes, %zu labeled "
+              "groups\n",
+              dataset.graph.num_nodes(), dataset.graph.num_edges(),
+              dataset.graph.attr_dim(), dataset.anomaly_groups.size());
+
+  TpGrGadOptions options;
+  options.seed = 11;
+  options.mh_gae.base.epochs = 50;
+  options.tpgcl.epochs = 40;
+  options.ReseedStages();
+  TpGrGad detector(options);
+  const auto groups = detector.DetectGroups(dataset.graph);
+  std::printf("detected %zu candidate groups\n", groups.size());
+
+  if (!dataset.anomaly_groups.empty()) {
+    const GroupEvaluation eval = EvaluateGroups(dataset, groups);
+    std::printf("against provided labels: CR %.3f | F1 %.3f | AUC %.3f\n",
+                eval.cr, eval.f1, eval.auc);
+  } else {
+    double best = 0.0;
+    for (const auto& g : groups) best = std::max(best, g.score);
+    std::printf("no labels provided; highest anomaly score %.3f\n", best);
+  }
+  return 0;
+}

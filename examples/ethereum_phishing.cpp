@@ -1,0 +1,60 @@
+// Ethereum phishing rings: tree- and cycle-shaped scam groups in an
+// account-transaction graph, with a detector swap (LOF instead of ECOD) and
+// a look at the topology-pattern evidence TPGCL exploits.
+//
+//   $ ./build/examples/ethereum_phishing
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/evaluation.h"
+#include "src/core/pipeline.h"
+#include "src/data/ethereum.h"
+#include "src/data/io.h"
+#include "src/sampling/pattern_search.h"
+
+int main() {
+  using namespace grgad;
+
+  DatasetOptions data_options;
+  data_options.seed = 99;
+  const Dataset dataset = GenEthereum(data_options);
+  std::printf("ethereum subgraph: %d accounts, %d transactions, "
+              "%zu phishing groups\n",
+              dataset.graph.num_nodes(), dataset.graph.num_edges(),
+              dataset.anomaly_groups.size());
+
+  // Ground-truth pattern mix (the Table II observation the method relies on).
+  int pattern_counts[4] = {0, 0, 0, 0};
+  for (const auto& group : dataset.anomaly_groups) {
+    const Graph sub = dataset.graph.InducedSubgraph(group);
+    pattern_counts[static_cast<int>(ClassifyGroupPattern(sub))]++;
+  }
+  std::printf("ground-truth pattern mix: %d paths, %d trees, %d cycles, "
+              "%d mixed\n",
+              pattern_counts[0], pattern_counts[1], pattern_counts[2],
+              pattern_counts[3]);
+
+  // Run the pipeline twice, swapping only the outlier detector: the group
+  // embeddings are detector-agnostic.
+  for (DetectorKind kind : {DetectorKind::kEcod, DetectorKind::kLof}) {
+    TpGrGadOptions options;
+    options.seed = 3;
+    options.mh_gae.base.epochs = 50;
+    options.tpgcl.epochs = 40;
+    options.detector = kind;
+    options.ReseedStages();
+    TpGrGad detector(options);
+    const GroupEvaluation eval =
+        EvaluateGroups(dataset, detector.DetectGroups(dataset.graph));
+    std::printf("detector=%-7s -> CR %.3f | F1 %.3f | AUC %.3f\n",
+                kind == DetectorKind::kEcod ? "ecod" : "lof", eval.cr,
+                eval.f1, eval.auc);
+  }
+
+  // Persist the graph so the rings can be inspected with external tooling.
+  const Status s = SaveDataset(dataset, "ethereum_snapshot");
+  std::printf("%s\n", s.ok()
+                          ? "wrote ethereum_snapshot.{edges,attrs,groups}"
+                          : s.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: run TP-GrGAD end to end on a small synthetic graph with three
+// planted anomaly groups and print what it finds.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the public API in the order a new user meets it: build (or
+// load) an attributed Graph, configure TpGrGadOptions, call Run(), and
+// inspect the scored groups and intermediate artifacts.
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/evaluation.h"
+#include "src/core/pipeline.h"
+#include "src/data/example_graph.h"
+
+int main() {
+  using namespace grgad;
+
+  // 1. A dataset: 110-node graph, three planted groups (path/tree/cycle).
+  //    Swap in data::LoadDataset(...) to run on your own edge lists.
+  DatasetOptions data_options;
+  data_options.seed = 42;
+  const Dataset dataset = GenExampleGraph(data_options);
+  std::printf("graph: %d nodes / %d edges / %zu-d attributes\n",
+              dataset.graph.num_nodes(), dataset.graph.num_edges(),
+              dataset.graph.attr_dim());
+
+  // 2. Configure the pipeline. Defaults follow the paper (2-layer GCNs,
+  //    64-d embeddings, top-10%% anchors, ECOD detector); we shrink the
+  //    network a little for this toy graph.
+  TpGrGadOptions options;
+  options.seed = 7;
+  options.mh_gae.base.hidden_dim = 32;
+  options.mh_gae.base.embed_dim = 16;
+  options.mh_gae.anchor_fraction = 0.15;
+  options.tpgcl.hidden_dim = 32;
+  options.tpgcl.embed_dim = 16;
+  options.ReseedStages();
+
+  // 3. Run. Run() exposes every stage; DetectGroups() returns just the
+  //    scored groups.
+  TpGrGad detector(options);
+  const PipelineArtifacts artifacts = detector.Run(dataset.graph);
+  std::printf("stage 1: %zu anchor nodes\n", artifacts.anchors.size());
+  std::printf("stage 2: %zu candidate groups\n",
+              artifacts.candidate_groups.size());
+  std::printf("stage 3: %zux%zu group embeddings\n",
+              artifacts.group_embeddings.rows(),
+              artifacts.group_embeddings.cols());
+
+  // 4. Top-scored groups.
+  std::vector<ScoredGroup> groups = artifacts.scored_groups;
+  std::sort(groups.begin(), groups.end(),
+            [](const ScoredGroup& a, const ScoredGroup& b) {
+              return a.score > b.score;
+            });
+  std::printf("\ntop 5 groups by anomaly score:\n");
+  for (size_t i = 0; i < std::min<size_t>(5, groups.size()); ++i) {
+    std::printf("  score %7.3f  nodes {", groups[i].score);
+    for (size_t k = 0; k < groups[i].nodes.size(); ++k) {
+      std::printf("%s%d", k ? "," : "", groups[i].nodes[k]);
+    }
+    std::printf("}\n");
+  }
+
+  // 5. Since this dataset has ground truth, evaluate like the paper does.
+  const GroupEvaluation eval = EvaluateGroups(dataset, artifacts.scored_groups);
+  std::printf("\nevaluation: CR %.3f | F1 %.3f | AUC %.3f\n", eval.cr,
+              eval.f1, eval.auc);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// AS-GAE (Zhang & Zhao, ICDM 2022): unsupervised deep subgraph anomaly
+// detection. A GAE localizes anomalous nodes; anomalous subgraphs are then
+// extracted as connected components *closed under one hop* (their subgraph
+// completion step), scored by aggregated node anomaly scores. The Sub-GAD
+// baseline with the larger (but noisier) groups in Fig. 5.
+#ifndef GRGAD_BASELINES_AS_GAE_H_
+#define GRGAD_BASELINES_AS_GAE_H_
+
+#include "src/core/group_detector.h"
+#include "src/gae/gae_base.h"
+
+namespace grgad {
+
+/// AS-GAE hyperparameters.
+struct AsGaeOptions {
+  GaeOptions gae;  ///< Underlying autoencoder (adjacency objective).
+  /// Nodes scoring above mean + z_threshold * std are anomalous.
+  double z_threshold = 1.3;
+  /// One-hop closure: neighbors of anomalous nodes whose score exceeds this
+  /// quantile of all scores are absorbed into the subgraph.
+  double closure_quantile = 0.6;
+  int max_group_size = 64;
+
+  AsGaeOptions() { gae.target = ReconTarget::kAdjacency; }
+};
+
+/// AS-GAE group detector.
+class AsGae : public GroupDetector {
+ public:
+  explicit AsGae(AsGaeOptions options = {});
+
+  std::vector<ScoredGroup> DetectGroups(const Graph& g) const override;
+  std::string Name() const override { return "as-gae"; }
+
+ private:
+  AsGaeOptions options_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_BASELINES_AS_GAE_H_

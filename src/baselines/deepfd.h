@@ -1,0 +1,49 @@
+// DeepFD (Wang et al., ICDM 2018): deep structure learning for fraud
+// detection. Learns node embeddings by reconstructing pairwise similarity
+// (autoencoder + pairwise term), flags suspicious nodes by reconstruction
+// error, and clusters their embeddings with DBSCAN to form fraud groups.
+#ifndef GRGAD_BASELINES_DEEPFD_H_
+#define GRGAD_BASELINES_DEEPFD_H_
+
+#include "src/core/group_detector.h"
+
+namespace grgad {
+
+/// DeepFD hyperparameters.
+struct DeepFdOptions {
+  int hidden_dim = 64;
+  int embed_dim = 32;
+  int epochs = 80;
+  double lr = 5e-3;
+  /// Weight of the pairwise similarity loss vs the attribute AE loss.
+  double pairwise_weight = 0.6;
+  int neg_per_pos = 1;
+  size_t max_pairs = 200000;
+  /// Fraction of highest-error nodes fed into DBSCAN.
+  double contamination = 0.10;
+  /// DBSCAN minPts; eps is set to the median 3-NN distance among suspects.
+  int dbscan_min_pts = 2;
+  int max_group_size = 64;
+  uint64_t seed = 4;
+};
+
+/// DeepFD group detector.
+class DeepFd : public GroupDetector {
+ public:
+  explicit DeepFd(DeepFdOptions options = {});
+
+  std::vector<ScoredGroup> DetectGroups(const Graph& g) const override;
+  std::string Name() const override { return "deepfd"; }
+
+ private:
+  DeepFdOptions options_;
+};
+
+/// DBSCAN over rows of `x` restricted to `items`: returns cluster labels per
+/// item (−1 = noise). Exposed for tests.
+std::vector<int> Dbscan(const Matrix& x, const std::vector<int>& items,
+                        double eps, int min_pts);
+
+}  // namespace grgad
+
+#endif  // GRGAD_BASELINES_DEEPFD_H_

@@ -1,0 +1,86 @@
+#include "src/core/evaluation.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/metrics/classification.h"
+#include "src/metrics/completeness.h"
+#include "src/util/check.h"
+
+namespace grgad {
+
+GroupEvaluation EvaluateGroups(const Dataset& dataset,
+                               const std::vector<ScoredGroup>& predictions,
+                               const EvaluationOptions& options) {
+  GroupEvaluation eval;
+  eval.num_candidates = static_cast<int>(predictions.size());
+  if (predictions.empty()) return eval;
+
+  std::vector<std::vector<int>> groups;
+  std::vector<double> scores;
+  groups.reserve(predictions.size());
+  for (const ScoredGroup& p : predictions) {
+    groups.push_back(p.nodes);
+    scores.push_back(p.score);
+  }
+  // Group-wise ground-truth labels by Jaccard matching.
+  const std::vector<int> match =
+      MatchGroups(dataset.anomaly_groups, groups, options.match_jaccard);
+  std::vector<int> y_true(groups.size(), 0);
+  for (size_t i = 0; i < groups.size(); ++i) y_true[i] = match[i] >= 0;
+
+  eval.auc = RocAuc(y_true, scores);
+  eval.f1 = F1AtTrueContamination(y_true, scores);
+
+  // Predicted-anomalous set: Definition 1's s_i > τ with the label-free
+  // mean + z·std threshold (the same rule AS-GAE applies to node scores).
+  double mean = 0.0;
+  for (double s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  double var = 0.0;
+  for (double s : scores) var += (s - mean) * (s - mean);
+  const double stddev = std::sqrt(var / static_cast<double>(scores.size()));
+  const double tau = mean + options.z_threshold * stddev;
+  std::vector<std::vector<int>> predicted_anomalous;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (scores[i] > tau) predicted_anomalous.push_back(groups[i]);
+  }
+  // Degenerate fallback (constant scores): every candidate is the
+  // prediction, as for baselines whose outputs are all "anomalous".
+  const auto& cr_set =
+      predicted_anomalous.empty() ? groups : predicted_anomalous;
+  eval.cr = CompletenessRatio(dataset.anomaly_groups, cr_set);
+  eval.num_predicted_anomalous = static_cast<int>(predicted_anomalous.size());
+  double total_size = 0.0;
+  for (const auto& g : cr_set) total_size += static_cast<double>(g.size());
+  eval.avg_predicted_size = total_size / static_cast<double>(cr_set.size());
+  return eval;
+}
+
+AggregatedEvaluation Aggregate(const std::vector<GroupEvaluation>& runs) {
+  AggregatedEvaluation out;
+  if (runs.empty()) return out;
+  std::vector<double> cr, f1, auc, size;
+  for (const GroupEvaluation& r : runs) {
+    cr.push_back(r.cr);
+    f1.push_back(r.f1);
+    auc.push_back(r.auc);
+    size.push_back(r.avg_predicted_size);
+  }
+  out.cr_mean = Mean(cr);
+  out.cr_stderr = StdError(cr);
+  out.f1_mean = Mean(f1);
+  out.f1_stderr = StdError(f1);
+  out.auc_mean = Mean(auc);
+  out.auc_stderr = StdError(auc);
+  out.size_mean = Mean(size);
+  return out;
+}
+
+std::string FormatCell(double mean, double stderr_value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f±%.2f", mean, stderr_value);
+  return buf;
+}
+
+}  // namespace grgad

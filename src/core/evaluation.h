@@ -1,0 +1,59 @@
+// Group-level evaluation harness (paper §VII-A2): CR, group-wise F1 and
+// ROC-AUC, and the detected-group size statistic of Fig. 5.
+//
+// Protocol: every predicted group is labeled anomalous when its best Jaccard
+// overlap with a ground-truth group reaches `match_jaccard`; F1 thresholds
+// scores at the true contamination rate of the prediction set (the standard
+// unsupervised-AD convention); CR (Eqn. 25) is computed over the groups
+// predicted anomalous at that threshold.
+#ifndef GRGAD_CORE_EVALUATION_H_
+#define GRGAD_CORE_EVALUATION_H_
+
+#include <string>
+
+#include "src/core/types.h"
+#include "src/data/dataset.h"
+
+namespace grgad {
+
+/// One method-on-dataset evaluation row (Table III cells).
+struct GroupEvaluation {
+  double cr = 0.0;
+  double f1 = 0.0;
+  double auc = 0.5;
+  double avg_predicted_size = 0.0;  ///< Fig. 5 series.
+  int num_candidates = 0;
+  int num_predicted_anomalous = 0;
+};
+
+/// Evaluation knobs.
+struct EvaluationOptions {
+  /// Minimum Jaccard overlap for a predicted group to count as matching a
+  /// ground-truth group.
+  double match_jaccard = 0.5;
+  /// Definition 1's threshold τ, chosen label-free per run: a group is
+  /// predicted anomalous when score > mean + z_threshold * std of the run's
+  /// scores. CR and the size statistic are computed over that set.
+  double z_threshold = 0.5;
+};
+
+/// Scores a method's output against a dataset's ground truth.
+GroupEvaluation EvaluateGroups(const Dataset& dataset,
+                               const std::vector<ScoredGroup>& predictions,
+                               const EvaluationOptions& options = {});
+
+/// Aggregates evaluations over seeds: mean ± standard error per metric.
+struct AggregatedEvaluation {
+  double cr_mean = 0, cr_stderr = 0;
+  double f1_mean = 0, f1_stderr = 0;
+  double auc_mean = 0, auc_stderr = 0;
+  double size_mean = 0;
+};
+AggregatedEvaluation Aggregate(const std::vector<GroupEvaluation>& runs);
+
+/// "0.81±0.10"-style cell used by the bench tables.
+std::string FormatCell(double mean, double stderr_value);
+
+}  // namespace grgad
+
+#endif  // GRGAD_CORE_EVALUATION_H_

@@ -1,0 +1,29 @@
+// The Gr-GAD method interface of Definition 1: F(G) -> {C, S}.
+#ifndef GRGAD_CORE_GROUP_DETECTOR_H_
+#define GRGAD_CORE_GROUP_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/graph/graph.h"
+
+namespace grgad {
+
+/// A group-level anomaly detector: consumes an attributed graph, returns
+/// candidate groups with anomaly scores (higher = more anomalous). Callers
+/// threshold the scores (Definition 1's τ) or rank them directly.
+class GroupDetector {
+ public:
+  virtual ~GroupDetector() = default;
+
+  /// Runs the full method on `g`.
+  virtual std::vector<ScoredGroup> DetectGroups(const Graph& g) const = 0;
+
+  /// Identifier used in bench tables ("tp-grgad", "dominant", ...).
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_CORE_GROUP_DETECTOR_H_

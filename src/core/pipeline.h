@@ -1,0 +1,69 @@
+// TP-GrGAD: the paper's end-to-end framework (Fig. 2).
+//
+//   graph --MH-GAE--> anchor nodes --Alg.1--> candidate groups
+//         --TPGCL (PPA/PBA + MINE)--> 64-d group embeddings
+//         --outlier detector (ECOD)--> anomaly scores per group.
+//
+// TpGrGad implements the GroupDetector interface; Run() additionally exposes
+// every intermediate artifact for the ablation benches (Tables IV/V, Figs
+// 6/7).
+#ifndef GRGAD_CORE_PIPELINE_H_
+#define GRGAD_CORE_PIPELINE_H_
+
+#include <memory>
+
+#include "src/core/group_detector.h"
+#include "src/gae/mh_gae.h"
+#include "src/gcl/tpgcl.h"
+#include "src/od/detector.h"
+#include "src/sampling/group_sampler.h"
+
+namespace grgad {
+
+/// Full-pipeline configuration (defaults mirror §VII-A4).
+struct TpGrGadOptions {
+  MhGaeOptions mh_gae;
+  GroupSamplerOptions sampler;
+  TpgclOptions tpgcl;
+  DetectorKind detector = DetectorKind::kEcod;
+  /// When true, Run() skips TPGCL and scores mean-pooled raw features
+  /// instead (the "TP-GrGAD w/o TPGCL" ablation of Table V).
+  bool disable_tpgcl = false;
+  uint64_t seed = 42;
+
+  /// Propagates `seed` into every stage's seed field.
+  void ReseedStages();
+};
+
+/// Everything the pipeline produces, stage by stage.
+struct PipelineArtifacts {
+  std::vector<int> anchors;
+  std::vector<std::vector<int>> candidate_groups;
+  Matrix group_embeddings;          ///< m x embed (or m x attr_dim w/o TPGCL).
+  std::vector<double> group_scores; ///< Detector output, aligned to groups.
+  std::vector<ScoredGroup> scored_groups;
+  std::vector<double> gae_node_errors;
+  std::vector<double> tpgcl_loss_history;
+};
+
+/// The TP-GrGAD method.
+class TpGrGad : public GroupDetector {
+ public:
+  explicit TpGrGad(TpGrGadOptions options = {});
+
+  /// Full pipeline with intermediate artifacts.
+  PipelineArtifacts Run(const Graph& g) const;
+
+  // GroupDetector interface.
+  std::vector<ScoredGroup> DetectGroups(const Graph& g) const override;
+  std::string Name() const override { return "tp-grgad"; }
+
+  const TpGrGadOptions& options() const { return options_; }
+
+ private:
+  TpGrGadOptions options_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_CORE_PIPELINE_H_

@@ -1,0 +1,36 @@
+// Vocabulary types shared across the pipeline: topology patterns and scored
+// groups (the Gr-GAD output type of Definition 1).
+#ifndef GRGAD_CORE_TYPES_H_
+#define GRGAD_CORE_TYPES_H_
+
+#include <string>
+#include <vector>
+
+namespace grgad {
+
+/// The three fundamental topology patterns of the paper (§V-C1): paths,
+/// trees, and cycles; composite patterns reduce to these. kMixed labels
+/// groups that expose no single dominant pattern.
+enum class TopologyPattern { kPath = 0, kTree = 1, kCycle = 2, kMixed = 3 };
+
+/// "path" | "tree" | "cycle" | "mixed".
+inline const char* ToString(TopologyPattern p) {
+  switch (p) {
+    case TopologyPattern::kPath: return "path";
+    case TopologyPattern::kTree: return "tree";
+    case TopologyPattern::kCycle: return "cycle";
+    case TopologyPattern::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+/// A detected group: node ids (sorted, in the host graph) + anomaly score.
+/// This is the (c_i, s_i) pair of the paper's Definition 1.
+struct ScoredGroup {
+  std::vector<int> nodes;
+  double score = 0.0;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_CORE_TYPES_H_

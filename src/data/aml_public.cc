@@ -1,0 +1,55 @@
+#include "src/data/aml_public.h"
+
+#include <algorithm>
+
+#include "src/data/synth_common.h"
+
+namespace grgad {
+
+Dataset GenAmlPublic(const DatasetOptions& options) {
+  Rng rng(options.seed ^ 0x616d6c70ULL);
+  const double scale = options.scale > 0.0 ? options.scale : 1.0;
+  const int n = std::max(256, static_cast<int>(16720 * scale));
+  const int num_trees = std::max(8, n / 8);  // Forest density of the dump.
+  const int extra_edges = std::max(16, static_cast<int>(2300 * scale));
+  const int num_groups = std::max(3, static_cast<int>(19 * scale));
+  const int attr_dim = options.attr_dim > 0 ? options.attr_dim : 16;
+  const int num_clusters = 6;
+
+  GraphBuilder builder(n);
+  AppendRandomForest(&builder, n, num_trees, &rng);
+  AppendErdosRenyiEdges(&builder, n, extra_edges, &rng);
+
+  std::vector<int> cluster(n);
+  for (int v = 0; v < n; ++v) {
+    cluster[v] = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(num_clusters)));
+  }
+  Matrix x = ClusteredGaussianFeatures(cluster, num_clusters, attr_dim, &rng);
+
+  // 18 path groups + 1 tree group (Table II pattern mix).
+  std::vector<uint8_t> used(n, 0);
+  std::vector<std::vector<int>> groups;
+  std::vector<TopologyPattern> patterns;
+  for (int gidx = 0; gidx < num_groups; ++gidx) {
+    const TopologyPattern pattern =
+        gidx == num_groups - 1 ? TopologyPattern::kTree
+                               : TopologyPattern::kPath;
+    const int size = SamplePatternSize(19.0, 12, 26, &rng);
+    std::vector<int> members = TakeUnusedNodes(&used, 0, n, size, &rng);
+    PlantPattern(&builder, members, pattern, &rng);
+    ApplyGroupOffset(&x, members, /*magnitude=*/1.5, /*frac_dims=*/0.5, &rng);
+    std::sort(members.begin(), members.end());
+    groups.push_back(std::move(members));
+    patterns.push_back(pattern);
+  }
+
+  Dataset out;
+  out.name = "amlpublic";
+  out.graph = builder.Build(std::move(x));
+  out.anomaly_groups = std::move(groups);
+  out.group_patterns = std::move(patterns);
+  return out;
+}
+
+}  // namespace grgad

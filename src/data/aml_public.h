@@ -1,0 +1,17 @@
+// AMLPublic: synthetic stand-in for the paper's cleaned Kaggle AML bank
+// graph — 16.7k accounts, 17.2k transactions (near-tree sparsity), and 19
+// laundering groups of average size ~19 of which 18 are long *paths*
+// (Table II: money-laundering flows are chain shaped).
+#ifndef GRGAD_DATA_AML_PUBLIC_H_
+#define GRGAD_DATA_AML_PUBLIC_H_
+
+#include "src/data/dataset.h"
+
+namespace grgad {
+
+/// Generates the AMLPublic benchmark instance.
+Dataset GenAmlPublic(const DatasetOptions& options = {});
+
+}  // namespace grgad
+
+#endif  // GRGAD_DATA_AML_PUBLIC_H_

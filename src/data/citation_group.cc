@@ -1,0 +1,139 @@
+#include "src/data/citation_group.h"
+
+#include <algorithm>
+
+#include "src/data/synth_common.h"
+
+namespace grgad {
+
+namespace {
+
+struct Profile {
+  const char* name;
+  int base_nodes;
+  int base_edges;
+  int num_comms;
+  int default_attr_dim;
+  int words_per_node;
+  int num_groups;
+  double mean_group_size;
+};
+
+constexpr Profile kCoraProfile = {"cora-group", 2708, 5300, 7, 128, 18,
+                                  22, 6.3};
+constexpr Profile kCiteseerProfile = {"citeseer-group", 3312, 4600, 6, 160,
+                                      22, 22, 6.2};
+
+}  // namespace
+
+Dataset GenCitationGroup(CitationProfile profile,
+                         const DatasetOptions& options) {
+  const Profile& p = profile == CitationProfile::kCora ? kCoraProfile
+                                                       : kCiteseerProfile;
+  Rng rng(options.seed ^ (profile == CitationProfile::kCora
+                              ? 0x636f7261ULL
+                              : 0x63697465ULL));
+  const double scale = options.scale > 0.0 ? options.scale : 1.0;
+  const int n_base = std::max(64, static_cast<int>(p.base_nodes * scale));
+  const int e_base = std::max(96, static_cast<int>(p.base_edges * scale));
+  const int num_groups = std::max(2, static_cast<int>(p.num_groups * scale));
+  const int attr_dim =
+      options.attr_dim > 0 ? options.attr_dim : p.default_attr_dim;
+
+  // --- Plan groups first so the total node count is known up front. ---
+  struct GroupPlan {
+    TopologyPattern pattern;
+    int size;
+  };
+  std::vector<GroupPlan> plans;
+  plans.reserve(num_groups);
+  int extra_nodes = 0;
+  for (int gidx = 0; gidx < num_groups; ++gidx) {
+    const double roll = rng.Uniform();
+    TopologyPattern pattern = roll < 0.4   ? TopologyPattern::kPath
+                              : roll < 0.7 ? TopologyPattern::kTree
+                                           : TopologyPattern::kCycle;
+    const int size = SamplePatternSize(p.mean_group_size, 4, 10, &rng);
+    plans.push_back({pattern, size});
+    extra_nodes += size - 2;  // 2 anchors reuse existing nodes.
+  }
+  const int n_total = n_base + extra_nodes;
+  GraphBuilder builder(n_total);
+
+  // --- Stochastic block model background over [0, n_base). ---
+  std::vector<int> community(n_total, 0);
+  for (int v = 0; v < n_base; ++v) {
+    community[v] = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(p.num_comms)));
+  }
+  // Group base nodes by community for intra-community edge sampling.
+  std::vector<std::vector<int>> comm_members(p.num_comms);
+  for (int v = 0; v < n_base; ++v) comm_members[community[v]].push_back(v);
+  int added = 0;
+  int attempts = 0;
+  while (added < e_base && attempts < e_base * 30) {
+    ++attempts;
+    int u, v;
+    if (rng.Bernoulli(0.81)) {  // Homophily ratio of citation graphs.
+      const auto& members = comm_members[rng.UniformInt(
+          static_cast<uint64_t>(p.num_comms))];
+      if (members.size() < 2) continue;
+      u = members[rng.UniformInt(members.size())];
+      v = members[rng.UniformInt(members.size())];
+    } else {
+      u = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n_base)));
+      v = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n_base)));
+    }
+    if (u == v || builder.HasEdge(u, v)) continue;
+    builder.AddEdge(u, v);
+    ++added;
+  }
+
+  // --- Attributes for base nodes; injected nodes filled below. ---
+  std::vector<int> base_comm(community.begin(), community.begin() + n_base);
+  Matrix x_base = CommunityBagOfWords(base_comm, p.num_comms, attr_dim,
+                                      p.words_per_node, &rng);
+  Matrix x(n_total, attr_dim);
+  for (int v = 0; v < n_base; ++v) {
+    for (int j = 0; j < attr_dim; ++j) x(v, j) = x_base(v, j);
+  }
+
+  // --- Inject groups: anchors from the base graph, new nodes appended. ---
+  std::vector<uint8_t> used(n_total, 0);
+  std::vector<std::vector<int>> groups;
+  std::vector<TopologyPattern> patterns;
+  int next_new = n_base;
+  for (const GroupPlan& plan : plans) {
+    const std::vector<int> anchors = TakeUnusedNodes(&used, 0, n_base, 2,
+                                                     &rng);
+    std::vector<int> members;
+    members.reserve(plan.size);
+    // Pattern order: anchor, new..., anchor — anchors sit at the ends of a
+    // path, on the ring of a cycle, or at root/leaf of a tree.
+    members.push_back(anchors[0]);
+    for (int i = 0; i < plan.size - 2; ++i) members.push_back(next_new++);
+    members.push_back(anchors[1]);
+    PlantPattern(&builder, members, plan.pattern, &rng);
+    // New-node attributes: anchor attributes + Gaussian noise (paper).
+    for (int i = 1; i + 1 < static_cast<int>(members.size()); ++i) {
+      const int src = anchors[rng.UniformInt(2u)];
+      for (int j = 0; j < attr_dim; ++j) {
+        x(members[i], j) = x(src, j) + rng.Normal(0.0, 0.3);
+      }
+      community[members[i]] = community[src];
+    }
+    std::sort(members.begin(), members.end());
+    groups.push_back(std::move(members));
+    patterns.push_back(plan.pattern);
+  }
+  GRGAD_CHECK_EQ(next_new, n_total);
+
+  Dataset out;
+  out.name = p.name;
+  out.graph = builder.Build(std::move(x));
+  out.anomaly_groups = std::move(groups);
+  out.group_patterns = std::move(patterns);
+  return out;
+}
+
+}  // namespace grgad

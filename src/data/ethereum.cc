@@ -1,0 +1,60 @@
+#include "src/data/ethereum.h"
+
+#include <algorithm>
+
+#include "src/data/synth_common.h"
+
+namespace grgad {
+
+Dataset GenEthereum(const DatasetOptions& options) {
+  Rng rng(options.seed ^ 0x65746820ULL);
+  const double scale = options.scale > 0.0 ? options.scale : 1.0;
+  const int n = std::max(128, static_cast<int>(1823 * scale));
+  const int extra_edges = std::max(48, static_cast<int>(1250 * scale));
+  const int num_groups = std::max(3, static_cast<int>(17 * scale));
+  const int attr_dim = options.attr_dim > 0 ? options.attr_dim : 13;
+  const int num_clusters = 5;
+
+  GraphBuilder builder(n);
+  AppendPreferentialAttachment(&builder, n, /*edges_per_node=*/1, &rng);
+  AppendErdosRenyiEdges(&builder, n, extra_edges, &rng);
+
+  std::vector<int> cluster(n);
+  for (int v = 0; v < n; ++v) {
+    cluster[v] = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(num_clusters)));
+  }
+  Matrix x = ClusteredGaussianFeatures(cluster, num_clusters, attr_dim, &rng);
+
+  // Pattern mix per Table II: 1 path, then trees and cycles alternating to
+  // roughly a 9:7 ratio.
+  std::vector<uint8_t> used(n, 0);
+  std::vector<std::vector<int>> groups;
+  std::vector<TopologyPattern> patterns;
+  for (int gidx = 0; gidx < num_groups; ++gidx) {
+    TopologyPattern pattern;
+    if (gidx == 0) {
+      pattern = TopologyPattern::kPath;
+    } else if (gidx % 2 == 1) {
+      pattern = TopologyPattern::kTree;
+    } else {
+      pattern = TopologyPattern::kCycle;
+    }
+    const int size = SamplePatternSize(7.2, 4, 12, &rng);
+    std::vector<int> members = TakeUnusedNodes(&used, 0, n, size, &rng);
+    PlantPattern(&builder, members, pattern, &rng);
+    ApplyGroupOffset(&x, members, /*magnitude=*/1.5, /*frac_dims=*/0.5, &rng);
+    std::sort(members.begin(), members.end());
+    groups.push_back(std::move(members));
+    patterns.push_back(pattern);
+  }
+
+  Dataset out;
+  out.name = "ethereum";
+  out.graph = builder.Build(std::move(x));
+  out.anomaly_groups = std::move(groups);
+  out.group_patterns = std::move(patterns);
+  return out;
+}
+
+}  // namespace grgad

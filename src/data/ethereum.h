@@ -1,0 +1,17 @@
+// Ethereum-TSGN: synthetic stand-in for the paper's Ethereum phishing
+// subgraph crawl — 1.8k accounts, 3.3k transactions, 17 phishing groups of
+// average size ~7.2, predominantly tree- and cycle-shaped (Table II:
+// 1 path / 9 trees / 7 cycles).
+#ifndef GRGAD_DATA_ETHEREUM_H_
+#define GRGAD_DATA_ETHEREUM_H_
+
+#include "src/data/dataset.h"
+
+namespace grgad {
+
+/// Generates the Ethereum-TSGN benchmark instance.
+Dataset GenEthereum(const DatasetOptions& options = {});
+
+}  // namespace grgad
+
+#endif  // GRGAD_DATA_ETHEREUM_H_

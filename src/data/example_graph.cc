@@ -1,0 +1,70 @@
+#include "src/data/example_graph.h"
+
+#include <algorithm>
+
+#include "src/data/synth_common.h"
+
+namespace grgad {
+
+Dataset GenExampleGraph(const DatasetOptions& options) {
+  Rng rng(options.seed ^ 0x65786d70ULL);
+  const int n_background = 90;
+  const int attr_dim = options.attr_dim > 0 ? options.attr_dim : 16;
+  // Three planted groups: path(7), tree(8), cycle(6).
+  const std::vector<std::pair<TopologyPattern, int>> plan = {
+      {TopologyPattern::kPath, 7},
+      {TopologyPattern::kTree, 8},
+      {TopologyPattern::kCycle, 6},
+  };
+  int n = n_background;
+  for (const auto& [_, size] : plan) n += size;
+
+  GraphBuilder builder(n);
+  // Two-community background over [0, n_background).
+  std::vector<int> cluster(n, 0);
+  for (int v = 0; v < n_background; ++v) cluster[v] = v % 2;
+  int added = 0;
+  while (added < 190) {
+    const int u = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(n_background)));
+    const int v = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(n_background)));
+    if (u == v || builder.HasEdge(u, v)) continue;
+    if (cluster[u] != cluster[v] && !rng.Bernoulli(0.15)) continue;
+    builder.AddEdge(u, v);
+    ++added;
+  }
+
+  Matrix x = ClusteredGaussianFeatures(cluster, 2, attr_dim, &rng);
+
+  std::vector<std::vector<int>> groups;
+  std::vector<TopologyPattern> patterns;
+  int next = n_background;
+  for (const auto& [pattern, size] : plan) {
+    std::vector<int> members;
+    for (int i = 0; i < size; ++i) members.push_back(next++);
+    PlantPattern(&builder, members, pattern, &rng);
+    // Tether the group to the background through its two "boundary" nodes so
+    // interiors are several hops from any normal node.
+    builder.AddEdge(members.front(),
+                    static_cast<int>(rng.UniformInt(
+                        static_cast<uint64_t>(n_background))));
+    builder.AddEdge(members.back(),
+                    static_cast<int>(rng.UniformInt(
+                        static_cast<uint64_t>(n_background))));
+    ApplyGroupOffset(&x, members, /*magnitude=*/1.6, /*frac_dims=*/0.5, &rng);
+    std::sort(members.begin(), members.end());
+    groups.push_back(std::move(members));
+    patterns.push_back(pattern);
+  }
+  GRGAD_CHECK_EQ(next, n);
+
+  Dataset out;
+  out.name = "example";
+  out.graph = builder.Build(std::move(x));
+  out.anomaly_groups = std::move(groups);
+  out.group_patterns = std::move(patterns);
+  return out;
+}
+
+}  // namespace grgad

@@ -1,0 +1,183 @@
+#include "src/data/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace grgad {
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f.is_open()) return Status::IoError("cannot open: " + path);
+  f << "# grgad edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
+    << " edges\n";
+  for (const auto& [u, v] : g.Edges()) f << u << " " << v << "\n";
+  if (!f.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Graph> LoadEdgeList(const std::string& path, int num_nodes) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IoError("cannot open: " + path);
+  std::vector<std::pair<int, int>> edges;
+  int max_id = -1;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    int u, v;
+    if (!(ss >> u >> v)) {
+      return Status::InvalidArgument("bad edge line: " + line);
+    }
+    if (u < 0 || v < 0) {
+      return Status::InvalidArgument("negative node id: " + line);
+    }
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  const int n = num_nodes > 0 ? num_nodes : max_id + 1;
+  if (max_id >= n) {
+    return Status::InvalidArgument("node id exceeds declared num_nodes");
+  }
+  GraphBuilder builder(std::max(n, 0));
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+Status SaveAttributes(const Matrix& x, const std::string& path) {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f.is_open()) return Status::IoError("cannot open: " + path);
+  f.precision(10);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      if (j > 0) f << ",";
+      f << x(i, j);
+    }
+    f << "\n";
+  }
+  if (!f.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Matrix> LoadAttributes(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IoError("cannot open: " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::istringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (...) {
+        return Status::InvalidArgument("bad numeric cell: " + cell);
+      }
+    }
+    if (!rows.empty() && row.size() != rows[0].size()) {
+      return Status::InvalidArgument("ragged attribute rows");
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Matrix();
+  Matrix x(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) x.SetRow(i, rows[i]);
+  return x;
+}
+
+namespace {
+
+bool ParsePattern(const std::string& s, TopologyPattern* out) {
+  if (s == "path") *out = TopologyPattern::kPath;
+  else if (s == "tree") *out = TopologyPattern::kTree;
+  else if (s == "cycle") *out = TopologyPattern::kCycle;
+  else if (s == "mixed") *out = TopologyPattern::kMixed;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+Status SaveGroups(const Dataset& dataset, const std::string& path) {
+  if (dataset.group_patterns.size() != dataset.anomaly_groups.size()) {
+    return Status::InvalidArgument("pattern/group count mismatch");
+  }
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f.is_open()) return Status::IoError("cannot open: " + path);
+  for (size_t g = 0; g < dataset.anomaly_groups.size(); ++g) {
+    f << ToString(dataset.group_patterns[g]) << ":";
+    for (int v : dataset.anomaly_groups[g]) f << " " << v;
+    f << "\n";
+  }
+  if (!f.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadGroups(const std::string& path,
+                  std::vector<std::vector<int>>* groups,
+                  std::vector<TopologyPattern>* patterns) {
+  GRGAD_CHECK(groups != nullptr && patterns != nullptr);
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IoError("cannot open: " + path);
+  groups->clear();
+  patterns->clear();
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("missing pattern tag: " + line);
+    }
+    TopologyPattern pattern;
+    if (!ParsePattern(line.substr(0, colon), &pattern)) {
+      return Status::InvalidArgument("unknown pattern: " +
+                                     line.substr(0, colon));
+    }
+    std::vector<int> group;
+    std::istringstream ss(line.substr(colon + 1));
+    int v;
+    while (ss >> v) group.push_back(v);
+    if (group.empty()) {
+      return Status::InvalidArgument("empty group line: " + line);
+    }
+    std::sort(group.begin(), group.end());
+    groups->push_back(std::move(group));
+    patterns->push_back(pattern);
+  }
+  return Status::Ok();
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& prefix) {
+  GRGAD_RETURN_IF_ERROR(SaveEdgeList(dataset.graph, prefix + ".edges"));
+  if (dataset.graph.has_attributes()) {
+    GRGAD_RETURN_IF_ERROR(
+        SaveAttributes(dataset.graph.attributes(), prefix + ".attrs"));
+  }
+  return SaveGroups(dataset, prefix + ".groups");
+}
+
+Result<Dataset> LoadDataset(const std::string& prefix,
+                            const std::string& name) {
+  Result<Graph> graph = LoadEdgeList(prefix + ".edges");
+  if (!graph.ok()) return graph.status();
+  Dataset out;
+  out.name = name;
+  out.graph = std::move(graph.value());
+  Result<Matrix> attrs = LoadAttributes(prefix + ".attrs");
+  if (attrs.ok() && !attrs.value().empty()) {
+    if (attrs.value().rows() !=
+        static_cast<size_t>(out.graph.num_nodes())) {
+      return Status::InvalidArgument("attribute rows != node count");
+    }
+    out.graph.SetAttributes(std::move(attrs.value()));
+  }
+  const Status s =
+      LoadGroups(prefix + ".groups", &out.anomaly_groups,
+                 &out.group_patterns);
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace grgad

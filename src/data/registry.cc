@@ -1,0 +1,31 @@
+#include "src/data/registry.h"
+
+#include "src/data/aml_public.h"
+#include "src/data/citation_group.h"
+#include "src/data/ethereum.h"
+#include "src/data/example_graph.h"
+#include "src/data/simml.h"
+
+namespace grgad {
+
+std::vector<std::string> ListDatasets() {
+  return {"simml", "cora-group", "citeseer-group", "amlpublic", "ethereum",
+          "example"};
+}
+
+Result<Dataset> MakeDataset(const std::string& name,
+                            const DatasetOptions& options) {
+  if (name == "simml") return GenSimMl(options);
+  if (name == "cora-group") {
+    return GenCitationGroup(CitationProfile::kCora, options);
+  }
+  if (name == "citeseer-group") {
+    return GenCitationGroup(CitationProfile::kCiteseer, options);
+  }
+  if (name == "amlpublic") return GenAmlPublic(options);
+  if (name == "ethereum") return GenEthereum(options);
+  if (name == "example") return GenExampleGraph(options);
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace grgad

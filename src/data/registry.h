@@ -1,0 +1,24 @@
+// Name-based dataset factory used by benches, examples, and tests.
+#ifndef GRGAD_DATA_REGISTRY_H_
+#define GRGAD_DATA_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace grgad {
+
+/// Dataset names accepted by MakeDataset, in the paper's Table I order
+/// ("simml", "cora-group", "citeseer-group", "amlpublic", "ethereum") plus
+/// the qualitative "example" instance of Fig. 8.
+std::vector<std::string> ListDatasets();
+
+/// Builds the named dataset; NotFound for unknown names.
+Result<Dataset> MakeDataset(const std::string& name,
+                            const DatasetOptions& options = {});
+
+}  // namespace grgad
+
+#endif  // GRGAD_DATA_REGISTRY_H_

@@ -1,0 +1,57 @@
+#include "src/data/simml.h"
+
+#include <algorithm>
+
+#include "src/data/synth_common.h"
+
+namespace grgad {
+
+Dataset GenSimMl(const DatasetOptions& options) {
+  Rng rng(options.seed ^ 0x73696d6dULL);
+  const double scale = options.scale > 0.0 ? options.scale : 1.0;
+  const int n = std::max(128, static_cast<int>(2768 * scale));
+  const int extra_edges = std::max(32, static_cast<int>(1300 * scale));
+  const int num_groups = std::max(4, static_cast<int>(74 * scale));
+  const int attr_dim = options.attr_dim > 0 ? options.attr_dim : 32;
+  const int num_clusters = 8;  // Account archetypes (retail, merchant, ...).
+
+  GraphBuilder builder(n);
+  // Scale-free transaction background: hubs are payment processors.
+  AppendPreferentialAttachment(&builder, n, /*edges_per_node=*/1, &rng);
+  AppendErdosRenyiEdges(&builder, n, extra_edges, &rng);
+
+  // Account features per archetype.
+  std::vector<int> cluster(n);
+  for (int v = 0; v < n; ++v) {
+    cluster[v] = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(num_clusters)));
+  }
+  Matrix x = ClusteredGaussianFeatures(cluster, num_clusters, attr_dim, &rng);
+
+  // Laundering groups: AMLSim pattern taxonomy.
+  std::vector<uint8_t> used(n, 0);
+  std::vector<std::vector<int>> groups;
+  std::vector<TopologyPattern> patterns;
+  for (int gidx = 0; gidx < num_groups; ++gidx) {
+    const double roll = rng.Uniform();
+    TopologyPattern pattern = roll < 0.35  ? TopologyPattern::kPath
+                              : roll < 0.75 ? TopologyPattern::kTree
+                                            : TopologyPattern::kCycle;
+    const int size = SamplePatternSize(3.5, 3, 6, &rng);
+    std::vector<int> members = TakeUnusedNodes(&used, 0, n, size, &rng);
+    PlantPattern(&builder, members, pattern, &rng);
+    ApplyGroupOffset(&x, members, /*magnitude=*/1.5, /*frac_dims=*/0.5, &rng);
+    std::sort(members.begin(), members.end());
+    groups.push_back(std::move(members));
+    patterns.push_back(pattern);
+  }
+
+  Dataset out;
+  out.name = "simml";
+  out.graph = builder.Build(std::move(x));
+  out.anomaly_groups = std::move(groups);
+  out.group_patterns = std::move(patterns);
+  return out;
+}
+
+}  // namespace grgad

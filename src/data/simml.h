@@ -1,0 +1,22 @@
+// simML: AMLSim-style synthetic money-laundering transaction graph
+// (IBM AMLSim is itself a synthetic simulator; this generator re-implements
+// its pattern taxonomy at the statistics of the paper's simML snapshot:
+// ~2.8k accounts, ~4.2k transactions, 74 laundering groups of avg size 3.5).
+//
+// Laundering groups are planted as fan-in/fan-out trees, short cycles, and
+// transfer paths over otherwise-normal accounts, with a coherent feature
+// offset per group (same accounts suddenly share velocity/volume quirks) —
+// the group-coherence is what creates long-range inconsistency.
+#ifndef GRGAD_DATA_SIMML_H_
+#define GRGAD_DATA_SIMML_H_
+
+#include "src/data/dataset.h"
+
+namespace grgad {
+
+/// Generates the simML benchmark instance.
+Dataset GenSimMl(const DatasetOptions& options = {});
+
+}  // namespace grgad
+
+#endif  // GRGAD_DATA_SIMML_H_

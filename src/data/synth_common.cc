@@ -1,0 +1,231 @@
+#include "src/data/synth_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grgad {
+
+void AppendPreferentialAttachment(GraphBuilder* builder, int n,
+                                  int edges_per_node, Rng* rng) {
+  GRGAD_CHECK(builder != nullptr && rng != nullptr);
+  GRGAD_CHECK_GE(n, 2);
+  // Repeated-endpoint list implements degree-proportional sampling.
+  std::vector<int> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * edges_per_node * 2);
+  builder->AddEdge(0, 1);
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (int v = 2; v < n; ++v) {
+    const int m = std::min(edges_per_node, v);
+    std::vector<int> chosen;
+    for (int e = 0; e < m; ++e) {
+      int target;
+      int guard = 0;
+      do {
+        target = endpoints[rng->UniformInt(endpoints.size())];
+      } while (std::find(chosen.begin(), chosen.end(), target) !=
+                   chosen.end() &&
+               ++guard < 16);
+      if (std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(target);
+      builder->AddEdge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+    if (chosen.empty()) {
+      // Degenerate guard: attach somewhere.
+      const int target = static_cast<int>(rng->UniformInt(
+          static_cast<uint64_t>(v)));
+      builder->AddEdge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+}
+
+void AppendErdosRenyiEdges(GraphBuilder* builder, int n, int target_edges,
+                           Rng* rng) {
+  GRGAD_CHECK(builder != nullptr && rng != nullptr);
+  GRGAD_CHECK_GE(n, 2);
+  int added = 0;
+  int attempts = 0;
+  const int max_attempts = target_edges * 20 + 100;
+  while (added < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const int u = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+    const int v = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+    if (u == v || builder->HasEdge(u, v)) continue;
+    builder->AddEdge(u, v);
+    ++added;
+  }
+}
+
+void AppendRandomForest(GraphBuilder* builder, int n, int num_trees,
+                        Rng* rng) {
+  GRGAD_CHECK(builder != nullptr && rng != nullptr);
+  GRGAD_CHECK_GE(num_trees, 1);
+  GRGAD_CHECK_GE(n, num_trees);
+  // Nodes [0, num_trees) are roots; node v >= num_trees attaches to a random
+  // earlier node of the tree it is assigned to (round-robin assignment keeps
+  // tree sizes balanced without extra state).
+  std::vector<std::vector<int>> members(num_trees);
+  for (int t = 0; t < num_trees; ++t) members[t].push_back(t);
+  for (int v = num_trees; v < n; ++v) {
+    const int t = v % num_trees;
+    const int parent = members[t][rng->UniformInt(members[t].size())];
+    builder->AddEdge(v, parent);
+    members[t].push_back(v);
+  }
+}
+
+void PlantPattern(GraphBuilder* builder, const std::vector<int>& nodes,
+                  TopologyPattern pattern, Rng* rng) {
+  GRGAD_CHECK(builder != nullptr && rng != nullptr);
+  switch (pattern) {
+    case TopologyPattern::kPath: {
+      GRGAD_CHECK_GE(nodes.size(), 2u);
+      for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+        builder->AddEdge(nodes[i], nodes[i + 1]);
+      }
+      break;
+    }
+    case TopologyPattern::kTree: {
+      GRGAD_CHECK_GE(nodes.size(), 2u);
+      // Bounded fan-out: parents are drawn from the most recent window so
+      // the tree gains depth as well as breadth.
+      for (size_t i = 1; i < nodes.size(); ++i) {
+        const size_t window = std::max<size_t>(1, i / 2);
+        const size_t lo = i - std::min(i, window + 1);
+        const size_t parent_idx =
+            lo + static_cast<size_t>(rng->UniformInt(
+                     static_cast<uint64_t>(i - lo)));
+        builder->AddEdge(nodes[i], nodes[parent_idx]);
+      }
+      break;
+    }
+    case TopologyPattern::kCycle: {
+      GRGAD_CHECK_GE(nodes.size(), 3u);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        builder->AddEdge(nodes[i], nodes[(i + 1) % nodes.size()]);
+      }
+      break;
+    }
+    case TopologyPattern::kMixed: {
+      GRGAD_CHECK_GE(nodes.size(), 3u);
+      for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+        builder->AddEdge(nodes[i], nodes[i + 1]);
+      }
+      const size_t a = static_cast<size_t>(
+          rng->UniformInt(static_cast<uint64_t>(nodes.size() - 2)));
+      builder->AddEdge(nodes[a], nodes[nodes.size() - 1]);
+      break;
+    }
+  }
+}
+
+std::vector<int> TakeUnusedNodes(std::vector<uint8_t>* used, int lo, int hi,
+                                 int count, Rng* rng) {
+  GRGAD_CHECK(used != nullptr && rng != nullptr);
+  GRGAD_CHECK(lo >= 0 && hi <= static_cast<int>(used->size()) && lo < hi);
+  std::vector<int> out;
+  out.reserve(count);
+  int guard = 0;
+  const int max_guard = (hi - lo) * 50 + 1000;
+  while (static_cast<int>(out.size()) < count) {
+    GRGAD_CHECK_LT(++guard, max_guard);  // Pool exhausted.
+    const int v = lo + static_cast<int>(rng->UniformInt(
+                           static_cast<uint64_t>(hi - lo)));
+    if ((*used)[v]) continue;
+    (*used)[v] = 1;
+    out.push_back(v);
+  }
+  return out;
+}
+
+Matrix CommunityBagOfWords(const std::vector<int>& community, int num_comms,
+                           int attr_dim, int words_per_node, Rng* rng) {
+  GRGAD_CHECK(rng != nullptr);
+  GRGAD_CHECK_GT(num_comms, 0);
+  GRGAD_CHECK_GT(attr_dim, 0);
+  const int n = static_cast<int>(community.size());
+  // Each community owns a topic: a subset of ~attr_dim / num_comms words
+  // plus a shared common pool.
+  const int topic_size = std::max(4, attr_dim / std::max(1, num_comms));
+  std::vector<std::vector<int>> topics(num_comms);
+  for (int c = 0; c < num_comms; ++c) {
+    auto idx = rng->SampleWithoutReplacement(attr_dim, topic_size);
+    topics[c].assign(idx.begin(), idx.end());
+  }
+  Matrix x(n, attr_dim);
+  for (int i = 0; i < n; ++i) {
+    const int c = community[i];
+    GRGAD_CHECK(c >= 0 && c < num_comms);
+    for (int w = 0; w < words_per_node; ++w) {
+      int word;
+      if (rng->Bernoulli(0.8)) {
+        word = topics[c][rng->UniformInt(topics[c].size())];
+      } else {
+        word = static_cast<int>(rng->UniformInt(
+            static_cast<uint64_t>(attr_dim)));
+      }
+      x(i, word) = 1.0;
+    }
+  }
+  return x;
+}
+
+Matrix ClusteredGaussianFeatures(const std::vector<int>& cluster,
+                                 int num_clusters, int attr_dim, Rng* rng) {
+  GRGAD_CHECK(rng != nullptr);
+  GRGAD_CHECK_GT(num_clusters, 0);
+  GRGAD_CHECK_GT(attr_dim, 0);
+  const int n = static_cast<int>(cluster.size());
+  Matrix means(num_clusters, attr_dim);
+  for (int c = 0; c < num_clusters; ++c) {
+    for (int j = 0; j < attr_dim; ++j) means(c, j) = rng->Normal(0.0, 1.0);
+  }
+  Matrix x(n, attr_dim);
+  for (int i = 0; i < n; ++i) {
+    const int c = cluster[i];
+    GRGAD_CHECK(c >= 0 && c < num_clusters);
+    for (int j = 0; j < attr_dim; ++j) {
+      x(i, j) = means(c, j) + rng->Normal(0.0, 0.5);
+    }
+  }
+  return x;
+}
+
+void ApplyGroupOffset(Matrix* x, const std::vector<int>& rows,
+                      double magnitude, double frac_dims, Rng* rng) {
+  GRGAD_CHECK(x != nullptr && rng != nullptr);
+  const int d = static_cast<int>(x->cols());
+  const int k = std::max(1, static_cast<int>(frac_dims * d));
+  const auto dims = rng->SampleWithoutReplacement(d, k);
+  std::vector<double> offset(k);
+  for (int j = 0; j < k; ++j) {
+    offset[j] = (rng->Bernoulli(0.5) ? 1.0 : -1.0) * magnitude;
+  }
+  // Per-node jitter on top of the shared offset: the paper's own injection
+  // (Cora-group) adds Gaussian noise per new node, which is what makes the
+  // anomalies visible to one-hop reconstruction at the group boundary while
+  // the shared component carries the long-range signal.
+  for (int row : rows) {
+    GRGAD_CHECK(row >= 0 && static_cast<size_t>(row) < x->rows());
+    for (int j = 0; j < k; ++j) {
+      (*x)(row, dims[j]) += offset[j] + rng->Normal(0.0, 0.35 * magnitude);
+    }
+  }
+}
+
+int SamplePatternSize(double mean, int min_size, int max_size, Rng* rng) {
+  GRGAD_CHECK(rng != nullptr);
+  GRGAD_CHECK_LE(min_size, max_size);
+  const int spread = std::max(1, static_cast<int>(mean * 0.4));
+  int size = static_cast<int>(mean) +
+             static_cast<int>(rng->UniformInt(-spread, spread));
+  return std::clamp(size, min_size, max_size);
+}
+
+}  // namespace grgad

@@ -1,0 +1,74 @@
+// Shared building blocks for the synthetic dataset generators: background
+// graph models (preferential attachment, Erdős–Rényi, random forests),
+// pattern planting (wiring a node set into a path / tree / cycle), and
+// attribute machinery (community bag-of-words, Gaussian features, coherent
+// group offsets).
+//
+// The planting helpers are what make the benchmark exhibit the paper's
+// "long-range inconsistency": group members receive a *shared* attribute
+// offset, so interior nodes agree with their one-hop neighbors (fooling
+// vanilla GAE) while disagreeing with the surrounding region.
+#ifndef GRGAD_DATA_SYNTH_COMMON_H_
+#define GRGAD_DATA_SYNTH_COMMON_H_
+
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace grgad {
+
+/// Barabási–Albert-style preferential attachment over nodes [0, n): each new
+/// node attaches to `edges_per_node` existing nodes (degree-weighted).
+void AppendPreferentialAttachment(GraphBuilder* builder, int n,
+                                  int edges_per_node, Rng* rng);
+
+/// Adds ~target_edges uniformly random distinct edges among nodes [0, n).
+void AppendErdosRenyiEdges(GraphBuilder* builder, int n, int target_edges,
+                           Rng* rng);
+
+/// Random spanning forest over [0, n) with `num_trees` roots: every non-root
+/// node attaches to a uniformly random earlier node of its tree. Produces
+/// the near-tree sparsity of the AMLPublic transaction graph.
+void AppendRandomForest(GraphBuilder* builder, int n, int num_trees,
+                        Rng* rng);
+
+/// Wires `nodes` (>= 2 for path/tree, >= 3 for cycle) into the given
+/// pattern, adding edges to `builder`:
+///  - kPath:  nodes[0] - nodes[1] - ... - nodes.back()
+///  - kTree:  nodes[0] is the root; each later node attaches to a random
+///            earlier node (bounded fan-out for realistic hierarchies).
+///  - kCycle: ring over `nodes` in order.
+///  - kMixed: path plus one random chord.
+void PlantPattern(GraphBuilder* builder, const std::vector<int>& nodes,
+                  TopologyPattern pattern, Rng* rng);
+
+/// Draws `count` distinct node ids from [lo, hi) that are not yet used;
+/// marks them used. CHECK-fails if the pool is exhausted.
+std::vector<int> TakeUnusedNodes(std::vector<uint8_t>* used, int lo, int hi,
+                                 int count, Rng* rng);
+
+/// Community bag-of-words attributes: each community draws topic words; each
+/// node activates ~words_per_node words mostly from its community topic
+/// (binary features, like Cora/CiteSeer).
+Matrix CommunityBagOfWords(const std::vector<int>& community, int num_comms,
+                           int attr_dim, int words_per_node, Rng* rng);
+
+/// Dense Gaussian features with per-cluster means (financial datasets).
+Matrix ClusteredGaussianFeatures(const std::vector<int>& cluster,
+                                 int num_clusters, int attr_dim, Rng* rng);
+
+/// Adds a shared offset to the given rows: the same `magnitude`-sized shift
+/// on a random `frac_dims` subset of dimensions, identical for all rows
+/// (group-coherent long-range inconsistency), plus small per-node jitter.
+void ApplyGroupOffset(Matrix* x, const std::vector<int>& rows,
+                      double magnitude, double frac_dims, Rng* rng);
+
+/// Picks a pattern size: path/cycle lengths and tree sizes around `mean`
+/// (min 3), geometric-ish spread.
+int SamplePatternSize(double mean, int min_size, int max_size, Rng* rng);
+
+}  // namespace grgad
+
+#endif  // GRGAD_DATA_SYNTH_COMMON_H_

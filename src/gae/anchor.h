@@ -1,0 +1,22 @@
+// Anchor-node selection: the top fraction of nodes by reconstruction error
+// become the seeds of candidate-group sampling (§V-B, §VII-A4).
+#ifndef GRGAD_GAE_ANCHOR_H_
+#define GRGAD_GAE_ANCHOR_H_
+
+#include <vector>
+
+namespace grgad {
+
+/// Returns the ids of the ceil(fraction * n) highest-scoring nodes, sorted
+/// ascending. Ties are broken by node id for determinism.
+std::vector<int> SelectAnchors(const std::vector<double>& node_scores,
+                               double fraction);
+
+/// As above, but with an absolute cap on the anchor count (keeps the O(m^2)
+/// pair sampling tractable on large graphs).
+std::vector<int> SelectAnchorsCapped(const std::vector<double>& node_scores,
+                                     double fraction, int max_anchors);
+
+}  // namespace grgad
+
+#endif  // GRGAD_GAE_ANCHOR_H_

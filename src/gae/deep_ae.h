@@ -1,0 +1,37 @@
+// DeepAE baseline: a per-node deep autoencoder over attributes concatenated
+// with a random projection of the node's adjacency row (structure context).
+// Node anomaly score = input reconstruction error. This is the pure
+// autoencoder N-GAD baseline of Table III; like all one-hop reconstruction
+// methods it cannot see long-range inconsistency.
+#ifndef GRGAD_GAE_DEEP_AE_H_
+#define GRGAD_GAE_DEEP_AE_H_
+
+#include "src/gae/gae_base.h"
+
+namespace grgad {
+
+/// DeepAE hyperparameters.
+struct DeepAeOptions {
+  int struct_proj_dim = 24;  ///< Random-projection width of adjacency rows.
+  int hidden_dim = 64;
+  int bottleneck_dim = 32;
+  int epochs = 80;
+  double lr = 5e-3;
+  uint64_t seed = 2;
+};
+
+/// Deep autoencoder node scorer.
+class DeepAe : public NodeScorer {
+ public:
+  explicit DeepAe(DeepAeOptions options = {});
+
+  std::vector<double> FitNodeScores(const Graph& g) const override;
+  std::string Name() const override { return "deepae"; }
+
+ private:
+  DeepAeOptions options_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_GAE_DEEP_AE_H_

@@ -1,0 +1,14 @@
+#include "src/gae/dominant.h"
+
+namespace grgad {
+
+Dominant::Dominant(GaeOptions options) : options_(options) {
+  options_.target = ReconTarget::kAdjacency;  // Definitional for DOMINANT.
+}
+
+std::vector<double> Dominant::FitNodeScores(const Graph& g) const {
+  GcnGae engine(options_);
+  return engine.Fit(g).node_errors;
+}
+
+}  // namespace grgad

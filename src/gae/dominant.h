@@ -1,0 +1,25 @@
+// DOMINANT (Ding et al., SDM 2019): GCN autoencoder with joint structure
+// (adjacency) + attribute reconstruction; node anomaly score = weighted
+// reconstruction error. The N-GAD baseline the paper analyses in Fig. 3.
+#ifndef GRGAD_GAE_DOMINANT_H_
+#define GRGAD_GAE_DOMINANT_H_
+
+#include "src/gae/gae_base.h"
+
+namespace grgad {
+
+/// DOMINANT baseline: GcnGae with the plain adjacency objective.
+class Dominant : public NodeScorer {
+ public:
+  explicit Dominant(GaeOptions options = {});
+
+  std::vector<double> FitNodeScores(const Graph& g) const override;
+  std::string Name() const override { return "dominant"; }
+
+ private:
+  GaeOptions options_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_GAE_DOMINANT_H_

@@ -1,0 +1,24 @@
+#include "src/gae/mh_gae.h"
+
+#include "src/gae/anchor.h"
+
+namespace grgad {
+
+MhGae::MhGae(MhGaeOptions options) : options_(options) {}
+
+MhGaeResult MhGae::FitAnchors(const Graph& g) const {
+  GcnGae engine(options_.base);
+  MhGaeResult out;
+  out.gae = engine.Fit(g);
+  out.anchors = SelectAnchorsCapped(out.gae.node_errors,
+                                    options_.anchor_fraction,
+                                    options_.max_anchors);
+  return out;
+}
+
+std::vector<double> MhGae::FitNodeScores(const Graph& g) const {
+  GcnGae engine(options_.base);
+  return engine.Fit(g).node_errors;
+}
+
+}  // namespace grgad

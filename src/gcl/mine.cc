@@ -1,0 +1,76 @@
+#include "src/gcl/mine.h"
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace grgad {
+
+MineEstimator::MineEstimator(int embed_dim, int hidden_dim, Rng* rng)
+    : mlp_({static_cast<size_t>(2 * embed_dim),
+            static_cast<size_t>(hidden_dim), 1},
+           rng) {}
+
+Var MineEstimator::Forward(const Var& za, const Var& zb,
+                           const std::vector<int>& idx_a,
+                           const std::vector<int>& idx_b) const {
+  GRGAD_CHECK_EQ(idx_a.size(), idx_b.size());
+  Var pairs = ConcatCols(GatherRows(za, idx_a), GatherRows(zb, idx_b));
+  return mlp_.Forward(pairs);
+}
+
+Var MineLoss(const MineEstimator& phi, const Var& z_pos, const Var& z_neg,
+             int neg_per_sample, Rng* rng) {
+  GRGAD_CHECK(rng != nullptr);
+  const int m = static_cast<int>(z_pos.rows());
+  GRGAD_CHECK_EQ(z_neg.rows(), static_cast<size_t>(m));
+  GRGAD_CHECK_GE(m, 2);
+  const int k = std::min(neg_per_sample, m - 1);
+  // Pair layout: first m rows are the matched (i, i) pairs, then k
+  // mismatched (i, j != i) pairs per i.
+  std::vector<int> idx_a, idx_b;
+  idx_a.reserve(m + static_cast<size_t>(m) * k);
+  idx_b.reserve(idx_a.capacity());
+  for (int i = 0; i < m; ++i) {
+    idx_a.push_back(i);
+    idx_b.push_back(i);
+  }
+  for (int i = 0; i < m; ++i) {
+    if (k == m - 1) {
+      for (int j = 0; j < m; ++j) {
+        if (j != i) {
+          idx_a.push_back(i);
+          idx_b.push_back(j);
+        }
+      }
+    } else {
+      for (int c = 0; c < k; ++c) {
+        int j = static_cast<int>(rng->UniformInt(
+            static_cast<uint64_t>(m - 1)));
+        if (j >= i) ++j;  // Uniform over {0..m-1} \ {i}.
+        idx_a.push_back(i);
+        idx_b.push_back(j);
+      }
+    }
+  }
+  Var t = phi.Forward(z_pos, z_neg, idx_a, idx_b);
+  // term1 = mean of the matched pairs (first m entries).
+  std::vector<int> diag_rows(m);
+  for (int i = 0; i < m; ++i) diag_rows[i] = i;
+  Var term1 = MeanAll(GatherRows(t, diag_rows));
+  // term2 = log (1/m) sum over mismatched pairs of e^T, with a count
+  // correction when subsampled: each i contributes k of its m-1 terms.
+  std::vector<uint8_t> mask(idx_a.size(), 0);
+  for (size_t p = m; p < idx_a.size(); ++p) mask[p] = 1;
+  Var lse = MaskedLogSumExp(t, mask);
+  const double correction =
+      std::log(static_cast<double>(m - 1) / static_cast<double>(k)) -
+      std::log(static_cast<double>(m));
+  // L = -term1 + (lse + correction).
+  Var loss = Add(Scale(term1, -1.0), lse);
+  Matrix c(1, 1);
+  c(0, 0) = correction;
+  return Add(loss, Var(c, /*requires_grad=*/false));
+}
+
+}  // namespace grgad

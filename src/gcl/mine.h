@@ -1,0 +1,43 @@
+// MINE-style mutual-information objective (paper Eqn. (8), after Belghazi
+// et al.): a trainable statistic Φ (an MLP over concatenated embeddings)
+// plugged into the Donsker–Varadhan form,
+//
+//   L = -(1/m) Σ_i Φ(zp_i, zn_i) + log (1/m) Σ_i Σ_{j≠i} e^{Φ(zp_i, zn_j)}.
+//
+// TPGCL minimizes L jointly over the encoder f_theta and Φ. For large m the
+// off-diagonal sum is subsampled (K mismatched pairs per i) with the
+// corresponding log-count correction.
+#ifndef GRGAD_GCL_MINE_H_
+#define GRGAD_GCL_MINE_H_
+
+#include <vector>
+
+#include "src/nn/layers.h"
+
+namespace grgad {
+
+/// The trainable statistic Φ: MLP([z_a || z_b]) -> scalar.
+class MineEstimator {
+ public:
+  /// Both inputs are `embed_dim` wide; hidden layer is `hidden_dim`.
+  MineEstimator(int embed_dim, int hidden_dim, Rng* rng);
+
+  /// Evaluates Φ on row pairs (idx_a[p] of za, idx_b[p] of zb) -> p x 1.
+  Var Forward(const Var& za, const Var& zb, const std::vector<int>& idx_a,
+              const std::vector<int>& idx_b) const;
+
+  std::vector<Var> Params() const { return mlp_.Params(); }
+
+ private:
+  Mlp mlp_;
+};
+
+/// Builds the Eqn. (8) loss from positive-view and negative-view embedding
+/// matrices (both m x d). `neg_per_sample` mismatched pairs are drawn per
+/// sample (clamped to m-1; m-1 gives the exact double sum). 1x1 output.
+Var MineLoss(const MineEstimator& phi, const Var& z_pos, const Var& z_neg,
+             int neg_per_sample, Rng* rng);
+
+}  // namespace grgad
+
+#endif  // GRGAD_GCL_MINE_H_

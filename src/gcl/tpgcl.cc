@@ -1,0 +1,124 @@
+#include "src/gcl/tpgcl.h"
+
+#include <cstring>
+
+#include "src/graph/operators.h"
+#include "src/nn/layers.h"
+#include "src/nn/optim.h"
+#include "src/gcl/mine.h"
+#include "src/util/logging.h"
+
+namespace grgad {
+
+GraphBatch BuildGraphBatch(const std::vector<Graph>& graphs) {
+  GRGAD_CHECK(!graphs.empty());
+  const size_t d = graphs[0].attr_dim();
+  size_t total = 0;
+  for (const Graph& g : graphs) {
+    GRGAD_CHECK_EQ(g.attr_dim(), d);
+    GRGAD_CHECK_GT(g.num_nodes(), 0);
+    total += static_cast<size_t>(g.num_nodes());
+  }
+  GraphBatch batch;
+  batch.x = Matrix(total, d);
+  std::vector<Triplet> op_triplets;
+  std::vector<Triplet> pool_triplets;
+  size_t offset = 0;
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Graph& g = graphs[gi];
+    const auto a_norm = NormalizedAdjacency(g);
+    for (size_t i = 0; i < a_norm->rows(); ++i) {
+      auto cols = a_norm->RowCols(i);
+      auto vals = a_norm->RowValues(i);
+      for (size_t p = 0; p < cols.size(); ++p) {
+        op_triplets.push_back({static_cast<int>(offset + i),
+                               static_cast<int>(offset + cols[p]), vals[p]});
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(g.num_nodes());
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      pool_triplets.push_back(
+          {static_cast<int>(gi), static_cast<int>(offset + v), inv});
+      std::memcpy(batch.x.RowPtr(offset + v), g.attributes().RowPtr(v),
+                  d * sizeof(double));
+    }
+    offset += static_cast<size_t>(g.num_nodes());
+  }
+  batch.op = std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromTriplets(total, total, std::move(op_triplets)));
+  batch.pool = std::make_shared<const SparseMatrix>(SparseMatrix::FromTriplets(
+      graphs.size(), total, std::move(pool_triplets)));
+  return batch;
+}
+
+Tpgcl::Tpgcl(TpgclOptions options) : options_(options) {}
+
+TpgclResult Tpgcl::FitEmbed(
+    const Graph& host, const std::vector<std::vector<int>>& groups) const {
+  GRGAD_CHECK(host.has_attributes());
+  GRGAD_CHECK_GE(groups.size(), 2u);
+  const int m = static_cast<int>(groups.size());
+  const int d = static_cast<int>(host.attr_dim());
+  Rng rng(options_.seed ^ 0x7470676cULL);
+
+  // --- Views: pattern search + one PPA and one PBA view per group. ---
+  std::vector<Graph> originals, positives, negatives;
+  originals.reserve(m);
+  positives.reserve(m);
+  negatives.reserve(m);
+  for (const auto& group : groups) {
+    Graph induced = host.InducedSubgraph(group);
+    const FoundPatterns patterns =
+        SearchPatterns(induced, options_.pattern_options);
+    positives.push_back(
+        Augment(induced, options_.positive_aug, patterns, &rng));
+    negatives.push_back(
+        Augment(induced, options_.negative_aug, patterns, &rng));
+    originals.push_back(std::move(induced));
+  }
+  const GraphBatch orig_batch = BuildGraphBatch(originals);
+  const GraphBatch pos_batch = BuildGraphBatch(positives);
+  const GraphBatch neg_batch = BuildGraphBatch(negatives);
+
+  // --- Shared encoder f_theta and statistic Φ. ---
+  GcnLayer enc1(d, options_.hidden_dim, &rng);
+  GcnLayer enc2(options_.hidden_dim, options_.embed_dim, &rng);
+  MineEstimator phi(options_.embed_dim, options_.mine_hidden, &rng);
+  std::vector<Var> params;
+  for (const auto& layer_params :
+       {enc1.Params(), enc2.Params(), phi.Params()}) {
+    params.insert(params.end(), layer_params.begin(), layer_params.end());
+  }
+  AdamOptions adam_options;
+  adam_options.lr = options_.lr;
+  adam_options.clip_grad_norm = 5.0;
+  Adam adam(params, adam_options);
+
+  auto encode = [&](const GraphBatch& batch) {
+    Var x(batch.x, /*requires_grad=*/false);
+    Var h = Relu(enc1.Forward(batch.op, x));
+    Var node_embed = enc2.Forward(batch.op, h);
+    return Spmm(batch.pool, node_embed);  // m x embed readout.
+  };
+
+  TpgclResult result;
+  result.loss_history.reserve(options_.epochs);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    adam.ZeroGrad();
+    Var z_pos = encode(pos_batch);
+    Var z_neg = encode(neg_batch);
+    Var loss = MineLoss(phi, z_pos, z_neg, options_.neg_per_sample, &rng);
+    loss.Backward();
+    adam.Step();
+    result.loss_history.push_back(loss.item());
+  }
+  // Final embeddings of the *original* candidate groups.
+  result.embeddings = encode(orig_batch).value();
+  GRGAD_LOG(kDebug) << "TPGCL trained on " << m << " groups, final loss="
+                    << (result.loss_history.empty()
+                            ? 0.0
+                            : result.loss_history.back());
+  return result;
+}
+
+}  // namespace grgad

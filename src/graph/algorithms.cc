@@ -1,0 +1,302 @@
+#include "src/graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_set>
+
+namespace grgad {
+
+std::vector<int> BfsDistances(const Graph& g, int src, int max_depth) {
+  GRGAD_CHECK(src >= 0 && src < g.num_nodes());
+  std::vector<int> dist(g.num_nodes(), kUnreachable);
+  dist[src] = 0;
+  std::deque<int> queue = {src};
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    if (max_depth >= 0 && dist[u] >= max_depth) continue;
+    for (int w : g.Neighbors(u)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> ShortestPath(const Graph& g, int src, int dst) {
+  GRGAD_CHECK(src >= 0 && src < g.num_nodes());
+  GRGAD_CHECK(dst >= 0 && dst < g.num_nodes());
+  if (src == dst) return {src};
+  std::vector<int> parent(g.num_nodes(), -1);
+  std::deque<int> queue = {src};
+  parent[src] = src;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (int w : g.Neighbors(u)) {
+      if (parent[w] != -1) continue;
+      parent[w] = u;
+      if (w == dst) {
+        std::vector<int> path = {dst};
+        for (int v = dst; v != src; v = parent[v]) path.push_back(parent[v]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(w);
+    }
+  }
+  return {};
+}
+
+bool BellmanFord(const Graph& g, int src, const std::vector<double>& weights,
+                 std::vector<double>* dist, std::vector<int>* parent) {
+  GRGAD_CHECK(src >= 0 && src < g.num_nodes());
+  GRGAD_CHECK(dist != nullptr && parent != nullptr);
+  const auto edges = g.Edges();
+  GRGAD_CHECK_EQ(weights.size(), edges.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  dist->assign(g.num_nodes(), kInf);
+  parent->assign(g.num_nodes(), -1);
+  (*dist)[src] = 0.0;
+  (*parent)[src] = src;
+  bool changed = true;
+  for (int round = 0; round < g.num_nodes() && changed; ++round) {
+    changed = false;
+    for (size_t e = 0; e < edges.size(); ++e) {
+      const auto [u, v] = edges[e];
+      const double w = weights[e];
+      if ((*dist)[u] + w < (*dist)[v]) {
+        (*dist)[v] = (*dist)[u] + w;
+        (*parent)[v] = u;
+        changed = true;
+      }
+      if ((*dist)[v] + w < (*dist)[u]) {
+        (*dist)[u] = (*dist)[v] + w;
+        (*parent)[u] = v;
+        changed = true;
+      }
+    }
+  }
+  // One more pass: any improvement means a negative cycle.
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    const double w = weights[e];
+    if ((*dist)[u] + w < (*dist)[v] || (*dist)[v] + w < (*dist)[u]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> BellmanFordPath(const Graph& g, int src, int dst,
+                                 const std::vector<double>& weights) {
+  std::vector<double> dist;
+  std::vector<int> parent;
+  if (!BellmanFord(g, src, weights, &dist, &parent)) return {};
+  if (parent[dst] == -1) return {};
+  std::vector<int> path = {dst};
+  for (int v = dst; v != src; v = parent[v]) {
+    path.push_back(parent[v]);
+    if (path.size() > static_cast<size_t>(g.num_nodes())) return {};
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void Dijkstra(const Graph& g, int src,
+              const std::function<double(int, int)>& cost,
+              std::vector<double>* dist, std::vector<int>* parent,
+              double max_cost) {
+  GRGAD_CHECK(src >= 0 && src < g.num_nodes());
+  GRGAD_CHECK(dist != nullptr && parent != nullptr);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  dist->assign(g.num_nodes(), kInf);
+  parent->assign(g.num_nodes(), -1);
+  (*dist)[src] = 0.0;
+  (*parent)[src] = src;
+  using Entry = std::pair<double, int>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.emplace(0.0, src);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > (*dist)[u]) continue;  // Stale entry.
+    for (int w : g.Neighbors(u)) {
+      const double c = cost(u, w);
+      GRGAD_DCHECK(c >= 0.0);
+      const double nd = d + c;
+      if (max_cost > 0.0 && nd > max_cost) continue;
+      if (nd < (*dist)[w]) {
+        (*dist)[w] = nd;
+        (*parent)[w] = u;
+        queue.emplace(nd, w);
+      }
+    }
+  }
+}
+
+BfsTree BuildBfsTree(const Graph& g, int root, int max_depth) {
+  GRGAD_CHECK(root >= 0 && root < g.num_nodes());
+  BfsTree tree;
+  tree.parent.assign(g.num_nodes(), -1);
+  tree.depth.assign(g.num_nodes(), kUnreachable);
+  tree.parent[root] = root;
+  tree.depth[root] = 0;
+  tree.order.push_back(root);
+  std::deque<int> queue = {root};
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    if (max_depth >= 0 && tree.depth[u] >= max_depth) continue;
+    for (int w : g.Neighbors(u)) {
+      if (tree.parent[w] != -1) continue;
+      tree.parent[w] = u;
+      tree.depth[w] = tree.depth[u] + 1;
+      tree.order.push_back(w);
+      queue.push_back(w);
+    }
+  }
+  return tree;
+}
+
+std::vector<int> ConnectedComponents(const Graph& g) {
+  std::vector<int> comp(g.num_nodes(), -1);
+  int next = 0;
+  std::deque<int> queue;
+  for (int s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int w : g.Neighbors(u)) {
+        if (comp[w] == -1) {
+          comp[w] = next;
+          queue.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::vector<std::vector<int>> ComponentsOfSubset(
+    const Graph& g, const std::vector<int>& nodes) {
+  std::unordered_set<int> in_set(nodes.begin(), nodes.end());
+  for (int v : nodes) GRGAD_CHECK(v >= 0 && v < g.num_nodes());
+  std::vector<std::vector<int>> groups;
+  // Deterministic iteration: walk `nodes` order, BFS within the subset.
+  std::vector<int> seen_group(g.num_nodes(), -1);
+  for (int start : nodes) {
+    if (seen_group[start] != -1) continue;
+    std::vector<int> group;
+    std::deque<int> queue = {start};
+    seen_group[start] = static_cast<int>(groups.size());
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      group.push_back(u);
+      for (int w : g.Neighbors(u)) {
+        if (seen_group[w] == -1 && in_set.count(w) > 0) {
+          seen_group[w] = static_cast<int>(groups.size());
+          queue.push_back(w);
+        }
+      }
+    }
+    std::sort(group.begin(), group.end());
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<int> KHopNeighborhood(const Graph& g, int v, int k) {
+  const std::vector<int> dist = BfsDistances(g, v, k);
+  std::vector<int> out;
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    if (dist[u] != kUnreachable) out.push_back(u);
+  }
+  return out;
+}
+
+namespace {
+
+/// Canonical form of a cycle through v: rotate so v is first, then pick the
+/// lexicographically smaller of the two directions.
+std::vector<int> CanonicalCycle(std::vector<int> cycle) {
+  // cycle[0] is already v by construction of the DFS.
+  std::vector<int> reversed = {cycle[0]};
+  reversed.insert(reversed.end(), cycle.rbegin(), cycle.rend() - 1);
+  return std::min(cycle, reversed);
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> CyclesThrough(const Graph& g, int v, int max_len,
+                                            int max_cycles,
+                                            int64_t max_steps) {
+  GRGAD_CHECK(v >= 0 && v < g.num_nodes());
+  GRGAD_CHECK_GE(max_len, 3);
+  std::vector<std::vector<int>> out;
+  std::vector<uint8_t> on_path(g.num_nodes(), 0);
+  std::vector<int> path = {v};
+  on_path[v] = 1;
+  // Iterative DFS with explicit neighbor cursors. Only expand nodes > v
+  // cannot be required (cycles may pass through smaller ids), so dedupe via
+  // canonical forms instead.
+  std::vector<std::vector<int>> seen;
+  std::vector<size_t> cursor = {0};
+  int64_t steps = 0;
+  while (!path.empty() && ++steps <= max_steps &&
+         out.size() < static_cast<size_t>(max_cycles)) {
+    const int u = path.back();
+    auto nb = g.Neighbors(u);
+    if (cursor.back() >= nb.size()) {
+      on_path[u] = 0;
+      path.pop_back();
+      cursor.pop_back();
+      continue;
+    }
+    const int w = nb[cursor.back()++];
+    if (w == v && path.size() >= 3) {
+      std::vector<int> cyc = CanonicalCycle(path);
+      if (std::find(seen.begin(), seen.end(), cyc) == seen.end()) {
+        seen.push_back(cyc);
+        out.push_back(std::move(cyc));
+      }
+      continue;
+    }
+    if (on_path[w] || path.size() >= static_cast<size_t>(max_len)) continue;
+    path.push_back(w);
+    on_path[w] = 1;
+    cursor.push_back(0);
+  }
+  return out;
+}
+
+double ClusteringCoefficient(const Graph& g, int v) {
+  auto nb = g.Neighbors(v);
+  const int d = static_cast<int>(nb.size());
+  if (d < 2) return 0.0;
+  int links = 0;
+  for (size_t i = 0; i < nb.size(); ++i) {
+    for (size_t j = i + 1; j < nb.size(); ++j) {
+      if (g.HasEdge(nb[i], nb[j])) ++links;
+    }
+  }
+  return 2.0 * links / (static_cast<double>(d) * (d - 1));
+}
+
+double MeanNeighborDegree(const Graph& g, int v) {
+  auto nb = g.Neighbors(v);
+  if (nb.empty()) return 0.0;
+  double s = 0.0;
+  for (int w : nb) s += g.Degree(w);
+  return s / static_cast<double>(nb.size());
+}
+
+}  // namespace grgad

@@ -1,0 +1,85 @@
+// Classic graph algorithms backing candidate-group sampling (Alg. 1),
+// topology-pattern search (Alg. 2), and the baselines' group extraction.
+#ifndef GRGAD_GRAPH_ALGORITHMS_H_
+#define GRGAD_GRAPH_ALGORITHMS_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace grgad {
+
+/// Marker for unreachable nodes in distance vectors.
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// BFS hop distances from src; kUnreachable where not reachable within
+/// max_depth (max_depth < 0 means unbounded).
+std::vector<int> BfsDistances(const Graph& g, int src, int max_depth = -1);
+
+/// Shortest path src -> dst as a node sequence (inclusive), empty when
+/// unreachable. Unweighted graphs: BFS back-pointers.
+std::vector<int> ShortestPath(const Graph& g, int src, int dst);
+
+/// Bellman–Ford single-source distances with per-edge weights (indexed as
+/// g.Edges() order, applied symmetrically). Used for weighted path search;
+/// on unit weights it reduces to BFS distances. Returns false on a negative
+/// cycle (distances then undefined).
+bool BellmanFord(const Graph& g, int src, const std::vector<double>& weights,
+                 std::vector<double>* dist, std::vector<int>* parent);
+
+/// Weighted shortest path via Bellman–Ford; empty when unreachable or a
+/// negative cycle exists.
+std::vector<int> BellmanFordPath(const Graph& g, int src, int dst,
+                                 const std::vector<double>& weights);
+
+/// Dijkstra single-source shortest paths with non-negative per-edge costs
+/// given by `cost(u, v)` (must be symmetric). dist is +inf where
+/// unreachable; parent[src] == src, -1 where unreachable. `max_cost`
+/// (if > 0) prunes expansion beyond that distance.
+void Dijkstra(const Graph& g, int src,
+              const std::function<double(int, int)>& cost,
+              std::vector<double>* dist, std::vector<int>* parent,
+              double max_cost = 0.0);
+
+/// BFS tree of depth <= depth rooted at root: parent[v] for every reached v
+/// (parent[root] == root), kUnreachable distances elsewhere.
+struct BfsTree {
+  std::vector<int> parent;  ///< -1 where unreached, root maps to itself.
+  std::vector<int> depth;   ///< kUnreachable where unreached.
+  std::vector<int> order;   ///< Visit order (root first).
+};
+BfsTree BuildBfsTree(const Graph& g, int root, int max_depth);
+
+/// Connected-component labels in [0, #components).
+std::vector<int> ConnectedComponents(const Graph& g);
+
+/// Partitions `nodes` into the connected components of the subgraph they
+/// induce; each returned group is sorted.
+std::vector<std::vector<int>> ComponentsOfSubset(const Graph& g,
+                                                 const std::vector<int>& nodes);
+
+/// All nodes within k hops of v (including v).
+std::vector<int> KHopNeighborhood(const Graph& g, int v, int k);
+
+/// Enumerates simple cycles through `v` with length in [3, max_len], up to
+/// max_cycles. Cycles are canonicalized (start at v, lexicographically
+/// smaller direction) and deduplicated. DFS with path-blocking: output
+/// sensitive, matching the role of Birmelé et al.'s optimal cycle listing in
+/// the paper at the small cycle counts of these graphs. `max_steps` bounds
+/// the DFS expansions (simple-path counts grow exponentially with max_len on
+/// dense regions); enumeration is truncated deterministically when hit.
+std::vector<std::vector<int>> CyclesThrough(const Graph& g, int v,
+                                            int max_len, int max_cycles = 64,
+                                            int64_t max_steps = 200000);
+
+/// Local clustering coefficient of v (0 when deg < 2).
+double ClusteringCoefficient(const Graph& g, int v);
+
+/// Mean degree of v's neighbors (0 for isolated nodes).
+double MeanNeighborDegree(const Graph& g, int v);
+
+}  // namespace grgad
+
+#endif  // GRGAD_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,73 @@
+#include "src/graph/graphsnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grgad {
+
+namespace {
+
+/// Sorted intersection of the closed neighborhoods of u and v.
+std::vector<int> ClosedNeighborhoodOverlap(const Graph& g, int u, int v) {
+  auto nu = g.Neighbors(u);
+  auto nv = g.Neighbors(v);
+  std::vector<int> cu(nu.begin(), nu.end());
+  std::vector<int> cv(nv.begin(), nv.end());
+  cu.insert(std::lower_bound(cu.begin(), cu.end(), u), u);
+  cv.insert(std::lower_bound(cv.begin(), cv.end(), v), v);
+  std::vector<int> overlap;
+  std::set_intersection(cu.begin(), cu.end(), cv.begin(), cv.end(),
+                        std::back_inserter(overlap));
+  return overlap;
+}
+
+/// Number of edges of g inside `nodes` (sorted).
+int EdgesWithin(const Graph& g, const std::vector<int>& nodes) {
+  int count = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    auto nb = g.Neighbors(nodes[i]);
+    for (int w : nb) {
+      if (w > nodes[i] &&
+          std::binary_search(nodes.begin(), nodes.end(), w)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<double> GraphSnnEdgeWeights(const Graph& g, double lambda) {
+  const auto edges = g.Edges();
+  std::vector<double> weights(edges.size(), 0.0);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    const std::vector<int> overlap = ClosedNeighborhoodOverlap(g, u, v);
+    const double nv = static_cast<double>(overlap.size());
+    if (nv < 2.0) continue;  // Denominator |V|*(|V|-1) undefined/zero.
+    const double ne = EdgesWithin(g, overlap);
+    weights[e] = ne / (nv * (nv - 1.0)) * std::pow(nv, lambda);
+  }
+  return weights;
+}
+
+SparseMatrix GraphSnnAdjacency(const Graph& g,
+                               const GraphSnnOptions& options) {
+  const auto edges = g.Edges();
+  const std::vector<double> weights =
+      GraphSnnEdgeWeights(g, options.lambda);
+  std::vector<Triplet> t;
+  t.reserve(edges.size() * 2);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    t.push_back({u, v, weights[e]});
+    t.push_back({v, u, weights[e]});
+  }
+  SparseMatrix out =
+      SparseMatrix::FromTriplets(g.num_nodes(), g.num_nodes(), std::move(t));
+  if (options.max_normalize) out = out.MaxNormalized();
+  return out;
+}
+
+}  // namespace grgad

@@ -1,0 +1,135 @@
+#include "src/graph/operators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace grgad {
+
+SparseMatrix AdjacencyMatrix(const Graph& g) {
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(g.num_edges()) * 2);
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    for (int v : g.Neighbors(u)) {
+      t.push_back({u, v, 1.0});
+    }
+  }
+  return SparseMatrix::FromTriplets(g.num_nodes(), g.num_nodes(),
+                                    std::move(t));
+}
+
+std::shared_ptr<const SparseMatrix> NormalizedAdjacency(const Graph& g) {
+  return std::make_shared<const SparseMatrix>(
+      SymmetricNormalize(AdjacencyMatrix(g), /*add_self_loops=*/true));
+}
+
+SparseMatrix SymmetricNormalize(const SparseMatrix& m, bool add_self_loops) {
+  GRGAD_CHECK_EQ(m.rows(), m.cols());
+  const size_t n = m.rows();
+  std::vector<Triplet> t;
+  t.reserve(m.nnz() + (add_self_loops ? n : 0));
+  for (size_t i = 0; i < n; ++i) {
+    auto cols = m.RowCols(i);
+    auto vals = m.RowValues(i);
+    for (size_t p = 0; p < cols.size(); ++p) {
+      t.push_back({static_cast<int>(i), cols[p], vals[p]});
+    }
+  }
+  if (add_self_loops) {
+    for (size_t i = 0; i < n; ++i) {
+      t.push_back({static_cast<int>(i), static_cast<int>(i), 1.0});
+    }
+  }
+  SparseMatrix with_loops = SparseMatrix::FromTriplets(n, n, std::move(t));
+  std::vector<double> deg = with_loops.RowSums();
+  std::vector<double> inv_sqrt(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (deg[i] > 0.0) inv_sqrt[i] = 1.0 / std::sqrt(deg[i]);
+  }
+  std::vector<Triplet> out;
+  out.reserve(with_loops.nnz());
+  for (size_t i = 0; i < n; ++i) {
+    auto cols = with_loops.RowCols(i);
+    auto vals = with_loops.RowValues(i);
+    for (size_t p = 0; p < cols.size(); ++p) {
+      out.push_back({static_cast<int>(i), cols[p],
+                     vals[p] * inv_sqrt[i] * inv_sqrt[cols[p]]});
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(out));
+}
+
+namespace {
+
+/// Keeps the `cap` largest-magnitude entries of each row.
+SparseMatrix RowTopK(const SparseMatrix& m, int cap) {
+  if (cap <= 0) return m;
+  std::vector<Triplet> out;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    auto cols = m.RowCols(i);
+    auto vals = m.RowValues(i);
+    if (static_cast<int>(cols.size()) <= cap) {
+      for (size_t p = 0; p < cols.size(); ++p) {
+        out.push_back({static_cast<int>(i), cols[p], vals[p]});
+      }
+      continue;
+    }
+    std::vector<size_t> idx(cols.size());
+    for (size_t p = 0; p < idx.size(); ++p) idx[p] = p;
+    std::nth_element(idx.begin(), idx.begin() + cap - 1, idx.end(),
+                     [&vals](size_t a, size_t b) {
+                       return std::fabs(vals[a]) > std::fabs(vals[b]);
+                     });
+    for (int p = 0; p < cap; ++p) {
+      out.push_back({static_cast<int>(i), cols[idx[p]], vals[idx[p]]});
+    }
+  }
+  return SparseMatrix::FromTriplets(m.rows(), m.cols(), std::move(out));
+}
+
+}  // namespace
+
+SparseMatrix StandardizedPower(const Graph& g, int k, int row_cap) {
+  GRGAD_CHECK_GE(k, 1);
+  // Row-stochastic walk matrix W = D^{-1} A.
+  SparseMatrix walk = AdjacencyMatrix(g).RowNormalized();
+  SparseMatrix power = walk;
+  for (int i = 1; i < k; ++i) {
+    power = MatMulSparse(power, walk, /*prune_eps=*/1e-6);
+    power = RowTopK(power, row_cap);
+  }
+  return power.MaxNormalized();
+}
+
+Matrix ModularityProjection(const Graph& g, int k, uint64_t seed) {
+  GRGAD_CHECK_GT(k, 0);
+  const int n = g.num_nodes();
+  Rng rng(seed);
+  Matrix r = Matrix::Gaussian(n, k, &rng, 0.0, 1.0 / std::sqrt(k));
+  // A R via sparse rows.
+  Matrix ar(n, k);
+  for (int u = 0; u < n; ++u) {
+    double* orow = ar.RowPtr(u);
+    for (int v : g.Neighbors(u)) {
+      const double* rrow = r.RowPtr(v);
+      for (int j = 0; j < k; ++j) orow[j] += rrow[j];
+    }
+  }
+  const double two_m = 2.0 * std::max(1, g.num_edges());
+  // d^T R: 1 x k.
+  std::vector<double> dtr(k, 0.0);
+  for (int u = 0; u < n; ++u) {
+    const double du = g.Degree(u);
+    const double* rrow = r.RowPtr(u);
+    for (int j = 0; j < k; ++j) dtr[j] += du * rrow[j];
+  }
+  for (int u = 0; u < n; ++u) {
+    const double du = g.Degree(u);
+    double* orow = ar.RowPtr(u);
+    for (int j = 0; j < k; ++j) orow[j] -= du * dtr[j] / two_m;
+  }
+  return ar;
+}
+
+}  // namespace grgad

@@ -1,0 +1,42 @@
+// Message-passing operators and reconstruction targets derived from a graph.
+//
+// MH-GAE's ablation (Table IV) swaps the reconstruction objective between the
+// plain adjacency A, standardized powers A^k (k = 3, 5, 7), and the GraphSNN
+// weighted adjacency Ã (src/graph/graphsnn.h); GCN encoders always propagate
+// with the symmetric normalized operator Â.
+#ifndef GRGAD_GRAPH_OPERATORS_H_
+#define GRGAD_GRAPH_OPERATORS_H_
+
+#include <memory>
+
+#include "src/graph/graph.h"
+#include "src/tensor/sparse.h"
+
+namespace grgad {
+
+class Rng;
+
+/// Binary adjacency matrix A (symmetric, zero diagonal).
+SparseMatrix AdjacencyMatrix(const Graph& g);
+
+/// Kipf–Welling operator Â = D̂^{-1/2} (A + I) D̂^{-1/2}.
+std::shared_ptr<const SparseMatrix> NormalizedAdjacency(const Graph& g);
+
+/// Symmetric normalization D^{-1/2} M D^{-1/2} of an arbitrary non-negative
+/// square matrix (zero rows left untouched), with optional self-loops.
+SparseMatrix SymmetricNormalize(const SparseMatrix& m, bool add_self_loops);
+
+/// Standardized k-th power of A (paper Eqn. (3) objective): powers of the
+/// row-stochastic walk matrix D^{-1}A, with per-row top-`row_cap` pruning to
+/// keep the result sparse, finally max-normalized to [0, 1].
+/// row_cap <= 0 disables pruning.
+SparseMatrix StandardizedPower(const Graph& g, int k, int row_cap = 64);
+
+/// Modularity features for ComGA without materializing B = A - d d^T / 2m:
+/// returns the n x k projection B R for a Gaussian random R (seeded), i.e.
+/// A R - d (d^T R) / 2m. Rows act as community fingerprints.
+Matrix ModularityProjection(const Graph& g, int k, uint64_t seed);
+
+}  // namespace grgad
+
+#endif  // GRGAD_GRAPH_OPERATORS_H_

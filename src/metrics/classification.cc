@@ -1,0 +1,121 @@
+#include "src/metrics/classification.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+ConfusionCounts Confusion(const std::vector<int>& y_true,
+                          const std::vector<int>& y_pred) {
+  GRGAD_CHECK_EQ(y_true.size(), y_pred.size());
+  ConfusionCounts c;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    GRGAD_DCHECK(y_true[i] == 0 || y_true[i] == 1);
+    GRGAD_DCHECK(y_pred[i] == 0 || y_pred[i] == 1);
+    if (y_true[i] == 1) {
+      y_pred[i] == 1 ? ++c.tp : ++c.fn;
+    } else {
+      y_pred[i] == 1 ? ++c.fp : ++c.tn;
+    }
+  }
+  return c;
+}
+
+double Precision(const ConfusionCounts& c) {
+  const int64_t denom = c.tp + c.fp;
+  return denom == 0 ? 0.0 : static_cast<double>(c.tp) / denom;
+}
+
+double Recall(const ConfusionCounts& c) {
+  const int64_t denom = c.tp + c.fn;
+  return denom == 0 ? 0.0 : static_cast<double>(c.tp) / denom;
+}
+
+double F1Score(const std::vector<int>& y_true,
+               const std::vector<int>& y_pred) {
+  const ConfusionCounts c = Confusion(y_true, y_pred);
+  const double p = Precision(c);
+  const double r = Recall(c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double RocAuc(const std::vector<int>& y_true,
+              const std::vector<double>& scores) {
+  GRGAD_CHECK_EQ(y_true.size(), scores.size());
+  const size_t n = y_true.size();
+  size_t num_pos = 0;
+  for (int y : y_true) num_pos += (y == 1);
+  const size_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  // Average ranks with tie correction.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (y_true[k] == 1) pos_rank_sum += rank[k];
+  }
+  const double u = pos_rank_sum -
+                   static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+std::vector<int> LabelsAtContamination(const std::vector<double>& scores,
+                                       double rate) {
+  GRGAD_CHECK(rate >= 0.0 && rate <= 1.0);
+  const size_t n = scores.size();
+  std::vector<int> labels(n, 0);
+  const size_t k = static_cast<size_t>(
+      std::ceil(rate * static_cast<double>(n)));
+  if (k == 0 || n == 0) return labels;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  for (size_t i = 0; i < std::min(k, n); ++i) labels[order[i]] = 1;
+  return labels;
+}
+
+double F1AtTrueContamination(const std::vector<int>& y_true,
+                             const std::vector<double>& scores) {
+  GRGAD_CHECK_EQ(y_true.size(), scores.size());
+  if (y_true.empty()) return 0.0;
+  size_t num_pos = 0;
+  for (int y : y_true) num_pos += (y == 1);
+  const double rate =
+      static_cast<double>(num_pos) / static_cast<double>(y_true.size());
+  return F1Score(y_true, LabelsAtContamination(scores, rate));
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double StdError(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  const double var = ss / static_cast<double>(n - 1);
+  return std::sqrt(var / static_cast<double>(n));
+}
+
+}  // namespace grgad

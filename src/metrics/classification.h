@@ -1,0 +1,52 @@
+// Binary-classification metrics computed group-wise, as defined in the
+// paper's §VII-A2: F1 and ROC-AUC over candidate groups, plus threshold
+// helpers for converting continuous anomaly scores into labels.
+#ifndef GRGAD_METRICS_CLASSIFICATION_H_
+#define GRGAD_METRICS_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace grgad {
+
+/// Confusion counts for binary labels.
+struct ConfusionCounts {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t tn = 0;
+  int64_t fn = 0;
+};
+
+/// Counts tp/fp/tn/fn; vectors must be equal length, entries in {0,1}.
+ConfusionCounts Confusion(const std::vector<int>& y_true,
+                          const std::vector<int>& y_pred);
+
+/// Precision = tp / (tp + fp); 0 when undefined.
+double Precision(const ConfusionCounts& c);
+/// Recall = tp / (tp + fn); 0 when undefined.
+double Recall(const ConfusionCounts& c);
+/// F1 = harmonic mean of precision and recall; 0 when undefined.
+double F1Score(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// ROC-AUC from continuous scores via the rank (Mann–Whitney) formulation;
+/// ties contribute 1/2. Returns 0.5 when one class is absent.
+double RocAuc(const std::vector<int>& y_true,
+              const std::vector<double>& scores);
+
+/// Labels the top ceil(rate * n) scores as positive (contamination-rate
+/// thresholding, the standard unsupervised-AD protocol). rate in [0, 1].
+std::vector<int> LabelsAtContamination(const std::vector<double>& scores,
+                                       double rate);
+
+/// F1 with contamination-rate thresholding at the true positive rate.
+double F1AtTrueContamination(const std::vector<int>& y_true,
+                             const std::vector<double>& scores);
+
+/// Mean of a sample.
+double Mean(const std::vector<double>& xs);
+/// Standard error of the mean (0 for fewer than 2 samples).
+double StdError(const std::vector<double>& xs);
+
+}  // namespace grgad
+
+#endif  // GRGAD_METRICS_CLASSIFICATION_H_

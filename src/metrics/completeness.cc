@@ -1,0 +1,82 @@
+#include "src/metrics/completeness.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+int SortedIntersectionSize(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  GRGAD_DCHECK(std::is_sorted(a.begin(), a.end()));
+  GRGAD_DCHECK(std::is_sorted(b.begin(), b.end()));
+  int count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double CompletenessScore(const std::vector<int>& ground_truth,
+                         const std::vector<std::vector<int>>& predicted) {
+  if (ground_truth.empty()) return 0.0;
+  double best = 0.0;
+  for (const auto& pred : predicted) {
+    if (pred.empty()) continue;
+    const int overlap = SortedIntersectionSize(ground_truth, pred);
+    const double recall =
+        static_cast<double>(overlap) / static_cast<double>(ground_truth.size());
+    const double precision =
+        static_cast<double>(overlap) / static_cast<double>(pred.size());
+    best = std::max(best, 0.5 * (recall + precision));
+  }
+  return best;
+}
+
+double CompletenessRatio(const std::vector<std::vector<int>>& ground_truth,
+                         const std::vector<std::vector<int>>& predicted) {
+  if (ground_truth.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& gt : ground_truth) {
+    total += CompletenessScore(gt, predicted);
+  }
+  return total / static_cast<double>(ground_truth.size());
+}
+
+double GroupJaccard(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const int inter = SortedIntersectionSize(a, b);
+  const double uni = static_cast<double>(a.size() + b.size() - inter);
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+std::vector<int> MatchGroups(const std::vector<std::vector<int>>& ground_truth,
+                             const std::vector<std::vector<int>>& predicted,
+                             double min_jaccard) {
+  std::vector<int> match(predicted.size(), -1);
+  // Greedy: highest-overlap pairs first, one predicted group per gt group is
+  // NOT enforced — multiple predictions may match the same gt group (the
+  // sampler intentionally produces overlapping candidates).
+  for (size_t p = 0; p < predicted.size(); ++p) {
+    double best = min_jaccard;
+    for (size_t g = 0; g < ground_truth.size(); ++g) {
+      const double j = GroupJaccard(predicted[p], ground_truth[g]);
+      if (j >= best) {
+        best = j;
+        match[p] = static_cast<int>(g);
+      }
+    }
+  }
+  return match;
+}
+
+}  // namespace grgad

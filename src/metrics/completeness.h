@@ -1,0 +1,47 @@
+// Completeness Ratio (CR), the paper's new group-level metric (Eqn. 24–25).
+//
+// For a ground-truth group c_g and predicted group set Ĉ, the completeness
+// score of c_g is the best, over predicted groups, average of node-level
+// recall and precision of the overlap:
+//
+//   s_g = max_i 1/2 ( |V̂_i ∩ V_g| / |V_g|  +  |V̂_i ∩ V_g| / |V̂_i| ),
+//
+// and CR is the mean of s_g over all ground-truth groups. CR == 1 iff every
+// ground-truth group is predicted exactly (no missing, no redundant nodes).
+#ifndef GRGAD_METRICS_COMPLETENESS_H_
+#define GRGAD_METRICS_COMPLETENESS_H_
+
+#include <vector>
+
+namespace grgad {
+
+/// Number of common elements between two sorted int vectors.
+int SortedIntersectionSize(const std::vector<int>& a,
+                           const std::vector<int>& b);
+
+/// Completeness score s_g of one ground-truth group against all predicted
+/// groups (Eqn. 24). Groups must be sorted node-id lists. Returns 0 when
+/// `predicted` is empty.
+double CompletenessScore(const std::vector<int>& ground_truth,
+                         const std::vector<std::vector<int>>& predicted);
+
+/// Completeness Ratio over all ground-truth groups (Eqn. 25). Returns 0
+/// when `ground_truth` is empty.
+double CompletenessRatio(const std::vector<std::vector<int>>& ground_truth,
+                         const std::vector<std::vector<int>>& predicted);
+
+/// Greedy 1:1 matching of predicted groups to ground-truth groups by overlap
+/// (Jaccard), used to derive group-wise binary labels for F1/AUC: a ground
+/// truth group counts as detected when some predicted group overlaps it with
+/// Jaccard >= min_jaccard. Returns, for each predicted group, the matched
+/// ground-truth index or -1.
+std::vector<int> MatchGroups(const std::vector<std::vector<int>>& ground_truth,
+                             const std::vector<std::vector<int>>& predicted,
+                             double min_jaccard = 0.1);
+
+/// Jaccard overlap of two sorted groups.
+double GroupJaccard(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace grgad
+
+#endif  // GRGAD_METRICS_COMPLETENESS_H_

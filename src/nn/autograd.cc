@@ -1,0 +1,589 @@
+#include "src/nn/autograd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+namespace grgad {
+
+namespace internal {
+
+namespace {
+std::atomic<uint64_t> g_next_node_id{1};
+}  // namespace
+
+void VarNode::AccumulateGrad(const Matrix& g) {
+  GRGAD_CHECK(g.rows() == value.rows() && g.cols() == value.cols());
+  if (grad.empty()) {
+    grad = g;
+  } else {
+    grad += g;
+  }
+}
+
+}  // namespace internal
+
+using internal::VarNode;
+
+namespace {
+
+std::shared_ptr<VarNode> NewNode(Matrix value, bool requires_grad) {
+  auto n = std::make_shared<VarNode>();
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  n->id = internal::g_next_node_id.fetch_add(1);
+  return n;
+}
+
+bool AnyRequiresGrad(const std::vector<Var>& parents) {
+  for (const Var& p : parents) {
+    if (p.requires_grad()) return true;
+  }
+  return false;
+}
+
+/// Creates an interior node with the given parents and backward closure.
+/// The closure receives the output gradient and must accumulate into the
+/// parent nodes it captured (checking requires_grad itself).
+Var MakeOpNode(Matrix value, const std::vector<Var>& parents,
+               std::function<void(const Matrix&)> backward_fn) {
+  auto n = NewNode(std::move(value), AnyRequiresGrad(parents));
+  if (n->requires_grad) {
+    n->parents.reserve(parents.size());
+    for (const Var& p : parents) n->parents.push_back(AutogradOps::node(p));
+    n->backward_fn = std::move(backward_fn);
+  }
+  return AutogradOps::Wrap(std::move(n));
+}
+
+}  // namespace
+
+Var::Var(Matrix value, bool requires_grad)
+    : node_(NewNode(std::move(value), requires_grad)) {}
+
+const Matrix& Var::value() const {
+  GRGAD_CHECK(defined());
+  return node_->value;
+}
+
+Matrix& Var::mutable_value() {
+  GRGAD_CHECK(defined());
+  return node_->value;
+}
+
+const Matrix& Var::grad() const {
+  GRGAD_CHECK(defined());
+  return node_->grad;
+}
+
+bool Var::requires_grad() const { return defined() && node_->requires_grad; }
+
+void Var::ZeroGrad() {
+  GRGAD_CHECK(defined());
+  node_->grad = Matrix();
+}
+
+double Var::item() const {
+  GRGAD_CHECK(defined());
+  GRGAD_CHECK(node_->value.rows() == 1 && node_->value.cols() == 1);
+  return node_->value(0, 0);
+}
+
+void Var::Backward() const {
+  GRGAD_CHECK(defined());
+  GRGAD_CHECK(node_->value.rows() == 1 && node_->value.cols() == 1);
+  // Collect all reachable ancestors (iterative DFS to bound stack depth).
+  std::vector<VarNode*> order;
+  std::unordered_set<VarNode*> seen;
+  std::vector<VarNode*> stack = {node_.get()};
+  seen.insert(node_.get());
+  while (!stack.empty()) {
+    VarNode* n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    for (const auto& p : n->parents) {
+      if (seen.insert(p.get()).second) stack.push_back(p.get());
+    }
+  }
+  // Reverse creation order is a valid topological order: an op node is
+  // always created after all of its parents.
+  std::sort(order.begin(), order.end(),
+            [](const VarNode* a, const VarNode* b) { return a->id > b->id; });
+  Matrix seed(1, 1);
+  seed(0, 0) = 1.0;
+  node_->AccumulateGrad(seed);
+  for (VarNode* n : order) {
+    if (!n->requires_grad || !n->backward_fn || n->grad.empty()) continue;
+    n->backward_fn(n->grad);
+  }
+}
+
+namespace {
+
+/// Accumulates `g` into `p`'s node when it participates in the tape.
+void Acc(const std::shared_ptr<VarNode>& p, const Matrix& g) {
+  if (p->requires_grad) p->AccumulateGrad(g);
+}
+
+}  // namespace
+
+Var MatMul(const Var& a, const Var& b) {
+  Matrix out = MatMul(a.value(), b.value());
+  auto an = AutogradOps::node(a);
+  auto bn = AutogradOps::node(b);
+  return MakeOpNode(std::move(out), {a, b}, [an, bn](const Matrix& g) {
+    // d/dA (A B) = g B^T ; d/dB = A^T g.
+    if (an->requires_grad) an->AccumulateGrad(MatMulTransposeB(g, bn->value));
+    if (bn->requires_grad) bn->AccumulateGrad(MatMulTransposeA(an->value, g));
+  });
+}
+
+Var Spmm(std::shared_ptr<const SparseMatrix> s, const Var& x) {
+  GRGAD_CHECK(s != nullptr);
+  Matrix out = s->Spmm(x.value());
+  auto xn = AutogradOps::node(x);
+  return MakeOpNode(std::move(out), {x}, [s, xn](const Matrix& g) {
+    // d/dX (S X) = S^T g.
+    Acc(xn, s->SpmmTransposeThis(g));
+  });
+}
+
+Var Add(const Var& a, const Var& b) {
+  Matrix out = a.value() + b.value();
+  auto an = AutogradOps::node(a);
+  auto bn = AutogradOps::node(b);
+  return MakeOpNode(std::move(out), {a, b}, [an, bn](const Matrix& g) {
+    Acc(an, g);
+    Acc(bn, g);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Matrix out = a.value() - b.value();
+  auto an = AutogradOps::node(a);
+  auto bn = AutogradOps::node(b);
+  return MakeOpNode(std::move(out), {a, b}, [an, bn](const Matrix& g) {
+    Acc(an, g);
+    if (bn->requires_grad) {
+      Matrix ng = g;
+      ng *= -1.0;
+      bn->AccumulateGrad(ng);
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Matrix out = a.value().Hadamard(b.value());
+  auto an = AutogradOps::node(a);
+  auto bn = AutogradOps::node(b);
+  return MakeOpNode(std::move(out), {a, b}, [an, bn](const Matrix& g) {
+    if (an->requires_grad) an->AccumulateGrad(g.Hadamard(bn->value));
+    if (bn->requires_grad) bn->AccumulateGrad(g.Hadamard(an->value));
+  });
+}
+
+Var Scale(const Var& a, double s) {
+  Matrix out = a.value() * s;
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a}, [an, s](const Matrix& g) {
+    if (an->requires_grad) an->AccumulateGrad(g * s);
+  });
+}
+
+Var AddRowBroadcast(const Var& a, const Var& bias) {
+  GRGAD_CHECK_EQ(bias.rows(), 1u);
+  GRGAD_CHECK_EQ(a.cols(), bias.cols());
+  Matrix out = a.value();
+  const double* brow = bias.value().RowPtr(0);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.RowPtr(i);
+    for (size_t j = 0; j < out.cols(); ++j) row[j] += brow[j];
+  }
+  auto an = AutogradOps::node(a);
+  auto bn = AutogradOps::node(bias);
+  return MakeOpNode(std::move(out), {a, bias}, [an, bn](const Matrix& g) {
+    Acc(an, g);
+    if (bn->requires_grad) {
+      Matrix bg(1, g.cols());
+      for (size_t i = 0; i < g.rows(); ++i) {
+        const double* row = g.RowPtr(i);
+        for (size_t j = 0; j < g.cols(); ++j) bg(0, j) += row[j];
+      }
+      bn->AccumulateGrad(bg);
+    }
+  });
+}
+
+Var Relu(const Var& a) {
+  Matrix out = a.value().Map([](double v) { return v > 0.0 ? v : 0.0; });
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a}, [an](const Matrix& g) {
+    if (!an->requires_grad) return;
+    Matrix gg = g;
+    const Matrix& x = an->value;
+    for (size_t i = 0; i < gg.rows(); ++i) {
+      double* grow = gg.RowPtr(i);
+      const double* xrow = x.RowPtr(i);
+      for (size_t j = 0; j < gg.cols(); ++j) {
+        if (xrow[j] <= 0.0) grow[j] = 0.0;
+      }
+    }
+    an->AccumulateGrad(gg);
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Matrix out =
+      a.value().Map([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  auto an = AutogradOps::node(a);
+  // Capture the output value for the gradient: s' = s (1 - s).
+  Matrix out_copy = out;
+  return MakeOpNode(std::move(out), {a},
+                    [an, s = std::move(out_copy)](const Matrix& g) {
+                      if (!an->requires_grad) return;
+                      Matrix gg = g;
+                      for (size_t i = 0; i < gg.rows(); ++i) {
+                        double* grow = gg.RowPtr(i);
+                        const double* srow = s.RowPtr(i);
+                        for (size_t j = 0; j < gg.cols(); ++j) {
+                          grow[j] *= srow[j] * (1.0 - srow[j]);
+                        }
+                      }
+                      an->AccumulateGrad(gg);
+                    });
+}
+
+Var Tanh(const Var& a) {
+  Matrix out = a.value().Map([](double v) { return std::tanh(v); });
+  auto an = AutogradOps::node(a);
+  Matrix out_copy = out;
+  return MakeOpNode(std::move(out), {a},
+                    [an, t = std::move(out_copy)](const Matrix& g) {
+                      if (!an->requires_grad) return;
+                      Matrix gg = g;
+                      for (size_t i = 0; i < gg.rows(); ++i) {
+                        double* grow = gg.RowPtr(i);
+                        const double* trow = t.RowPtr(i);
+                        for (size_t j = 0; j < gg.cols(); ++j) {
+                          grow[j] *= 1.0 - trow[j] * trow[j];
+                        }
+                      }
+                      an->AccumulateGrad(gg);
+                    });
+}
+
+Var Exp(const Var& a) {
+  Matrix out = a.value().Map([](double v) { return std::exp(v); });
+  auto an = AutogradOps::node(a);
+  Matrix out_copy = out;
+  return MakeOpNode(std::move(out), {a},
+                    [an, e = std::move(out_copy)](const Matrix& g) {
+                      if (an->requires_grad) an->AccumulateGrad(g.Hadamard(e));
+                    });
+}
+
+Var Log(const Var& a, double eps) {
+  Matrix out = a.value().Map([eps](double v) { return std::log(v + eps); });
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a}, [an, eps](const Matrix& g) {
+    if (!an->requires_grad) return;
+    Matrix gg = g;
+    const Matrix& x = an->value;
+    for (size_t i = 0; i < gg.rows(); ++i) {
+      double* grow = gg.RowPtr(i);
+      const double* xrow = x.RowPtr(i);
+      for (size_t j = 0; j < gg.cols(); ++j) grow[j] /= (xrow[j] + eps);
+    }
+    an->AccumulateGrad(gg);
+  });
+}
+
+Var Transpose(const Var& a) {
+  Matrix out = a.value().Transpose();
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a}, [an](const Matrix& g) {
+    if (an->requires_grad) an->AccumulateGrad(g.Transpose());
+  });
+}
+
+Var SumAll(const Var& a) {
+  Matrix out(1, 1);
+  out(0, 0) = a.value().Sum();
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a}, [an](const Matrix& g) {
+    if (!an->requires_grad) return;
+    Matrix gg(an->value.rows(), an->value.cols(), g(0, 0));
+    an->AccumulateGrad(gg);
+  });
+}
+
+Var MeanAll(const Var& a) {
+  const double n = static_cast<double>(a.value().size());
+  GRGAD_CHECK_GT(n, 0.0);
+  return Scale(SumAll(a), 1.0 / n);
+}
+
+Var SumSquares(const Var& a) {
+  Matrix out(1, 1);
+  double s = 0.0;
+  const Matrix& x = a.value();
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t j = 0; j < x.cols(); ++j) s += row[j] * row[j];
+  }
+  out(0, 0) = s;
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a}, [an](const Matrix& g) {
+    if (!an->requires_grad) return;
+    Matrix gg = an->value * (2.0 * g(0, 0));
+    an->AccumulateGrad(gg);
+  });
+}
+
+Var MseLoss(const Var& pred, const Matrix& target) {
+  GRGAD_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols());
+  const Matrix& p = pred.value();
+  double s = 0.0;
+  for (size_t i = 0; i < p.rows(); ++i) {
+    const double* prow = p.RowPtr(i);
+    const double* trow = target.RowPtr(i);
+    for (size_t j = 0; j < p.cols(); ++j) {
+      const double d = prow[j] - trow[j];
+      s += d * d;
+    }
+  }
+  const double n = static_cast<double>(p.size());
+  Matrix out(1, 1);
+  out(0, 0) = s / n;
+  auto pn = AutogradOps::node(pred);
+  return MakeOpNode(std::move(out), {pred}, [pn, target, n](const Matrix& g) {
+    if (!pn->requires_grad) return;
+    Matrix gg = pn->value;
+    gg -= target;
+    gg *= 2.0 * g(0, 0) / n;
+    pn->AccumulateGrad(gg);
+  });
+}
+
+Var WeightedMseLoss(const Var& pred, const Matrix& target,
+                    const Matrix& weights) {
+  GRGAD_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols());
+  GRGAD_CHECK(pred.rows() == weights.rows() && pred.cols() == weights.cols());
+  const Matrix& p = pred.value();
+  double s = 0.0;
+  for (size_t i = 0; i < p.rows(); ++i) {
+    const double* prow = p.RowPtr(i);
+    const double* trow = target.RowPtr(i);
+    const double* wrow = weights.RowPtr(i);
+    for (size_t j = 0; j < p.cols(); ++j) {
+      const double d = prow[j] - trow[j];
+      s += wrow[j] * d * d;
+    }
+  }
+  const double n = static_cast<double>(p.size());
+  Matrix out(1, 1);
+  out(0, 0) = s / n;
+  auto pn = AutogradOps::node(pred);
+  return MakeOpNode(std::move(out), {pred},
+                    [pn, target, weights, n](const Matrix& g) {
+                      if (!pn->requires_grad) return;
+                      Matrix gg = pn->value;
+                      gg -= target;
+                      gg = gg.Hadamard(weights);
+                      gg *= 2.0 * g(0, 0) / n;
+                      pn->AccumulateGrad(gg);
+                    });
+}
+
+Var GatherRows(const Var& a, std::vector<int> rows) {
+  Matrix out = a.value().GatherRows(rows);
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a},
+                    [an, rows = std::move(rows)](const Matrix& g) {
+                      if (!an->requires_grad) return;
+                      Matrix gg(an->value.rows(), an->value.cols());
+                      for (size_t i = 0; i < rows.size(); ++i) {
+                        double* dst = gg.RowPtr(rows[i]);
+                        const double* src = g.RowPtr(i);
+                        for (size_t j = 0; j < g.cols(); ++j) dst[j] += src[j];
+                      }
+                      an->AccumulateGrad(gg);
+                    });
+}
+
+Var MeanRows(const Var& a) {
+  GRGAD_CHECK_GT(a.rows(), 0u);
+  const size_t r = a.rows(), c = a.cols();
+  Matrix out(1, c);
+  for (size_t i = 0; i < r; ++i) {
+    const double* row = a.value().RowPtr(i);
+    for (size_t j = 0; j < c; ++j) out(0, j) += row[j];
+  }
+  out *= 1.0 / static_cast<double>(r);
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a}, [an, r, c](const Matrix& g) {
+    if (!an->requires_grad) return;
+    Matrix gg(r, c);
+    const double inv = 1.0 / static_cast<double>(r);
+    for (size_t i = 0; i < r; ++i) {
+      double* row = gg.RowPtr(i);
+      for (size_t j = 0; j < c; ++j) row[j] = g(0, j) * inv;
+    }
+    an->AccumulateGrad(gg);
+  });
+}
+
+Var StackRows(const std::vector<Var>& rows) {
+  GRGAD_CHECK(!rows.empty());
+  const size_t c = rows[0].cols();
+  Matrix out(rows.size(), c);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    GRGAD_CHECK_EQ(rows[i].rows(), 1u);
+    GRGAD_CHECK_EQ(rows[i].cols(), c);
+    std::memcpy(out.RowPtr(i), rows[i].value().RowPtr(0), c * sizeof(double));
+  }
+  std::vector<std::shared_ptr<VarNode>> nodes;
+  nodes.reserve(rows.size());
+  for (const Var& v : rows) nodes.push_back(AutogradOps::node(v));
+  return MakeOpNode(std::move(out), rows,
+                    [nodes = std::move(nodes), c](const Matrix& g) {
+                      for (size_t i = 0; i < nodes.size(); ++i) {
+                        if (!nodes[i]->requires_grad) continue;
+                        Matrix gi(1, c);
+                        std::memcpy(gi.RowPtr(0), g.RowPtr(i),
+                                    c * sizeof(double));
+                        nodes[i]->AccumulateGrad(gi);
+                      }
+                    });
+}
+
+Var ConcatCols(const Var& a, const Var& b) {
+  GRGAD_CHECK_EQ(a.rows(), b.rows());
+  const size_t r = a.rows(), ca = a.cols(), cb = b.cols();
+  Matrix out(r, ca + cb);
+  for (size_t i = 0; i < r; ++i) {
+    std::memcpy(out.RowPtr(i), a.value().RowPtr(i), ca * sizeof(double));
+    std::memcpy(out.RowPtr(i) + ca, b.value().RowPtr(i), cb * sizeof(double));
+  }
+  auto an = AutogradOps::node(a);
+  auto bn = AutogradOps::node(b);
+  return MakeOpNode(std::move(out), {a, b},
+                    [an, bn, r, ca, cb](const Matrix& g) {
+                      if (an->requires_grad) {
+                        Matrix ga(r, ca);
+                        for (size_t i = 0; i < r; ++i) {
+                          std::memcpy(ga.RowPtr(i), g.RowPtr(i),
+                                      ca * sizeof(double));
+                        }
+                        an->AccumulateGrad(ga);
+                      }
+                      if (bn->requires_grad) {
+                        Matrix gb(r, cb);
+                        for (size_t i = 0; i < r; ++i) {
+                          std::memcpy(gb.RowPtr(i), g.RowPtr(i) + ca,
+                                      cb * sizeof(double));
+                        }
+                        bn->AccumulateGrad(gb);
+                      }
+                    });
+}
+
+Var Reshape(const Var& a, size_t r, size_t c) {
+  GRGAD_CHECK_EQ(a.value().size(), r * c);
+  Matrix out(r, c);
+  std::memcpy(out.data(), a.value().data(),
+              a.value().size() * sizeof(double));
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a}, [an](const Matrix& g) {
+    if (!an->requires_grad) return;
+    Matrix gg(an->value.rows(), an->value.cols());
+    std::memcpy(gg.data(), g.data(), g.size() * sizeof(double));
+    an->AccumulateGrad(gg);
+  });
+}
+
+Var PairInnerProduct(const Var& z, std::vector<std::pair<int, int>> pairs) {
+  const Matrix& zv = z.value();
+  Matrix out(pairs.size(), 1);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto [i, j] = pairs[p];
+    GRGAD_CHECK(i >= 0 && static_cast<size_t>(i) < zv.rows());
+    GRGAD_CHECK(j >= 0 && static_cast<size_t>(j) < zv.rows());
+    const double* zi = zv.RowPtr(i);
+    const double* zj = zv.RowPtr(j);
+    double s = 0.0;
+    for (size_t k = 0; k < zv.cols(); ++k) s += zi[k] * zj[k];
+    out(p, 0) = s;
+  }
+  auto zn = AutogradOps::node(z);
+  return MakeOpNode(std::move(out), {z},
+                    [zn, pairs = std::move(pairs)](const Matrix& g) {
+                      if (!zn->requires_grad) return;
+                      const Matrix& zv = zn->value;
+                      Matrix gg(zv.rows(), zv.cols());
+                      for (size_t p = 0; p < pairs.size(); ++p) {
+                        const auto [i, j] = pairs[p];
+                        const double gp = g(p, 0);
+                        const double* zi = zv.RowPtr(i);
+                        const double* zj = zv.RowPtr(j);
+                        double* gi = gg.RowPtr(i);
+                        double* gj = gg.RowPtr(j);
+                        for (size_t k = 0; k < zv.cols(); ++k) {
+                          gi[k] += gp * zj[k];
+                          gj[k] += gp * zi[k];
+                        }
+                      }
+                      zn->AccumulateGrad(gg);
+                    });
+}
+
+Var DiagMean(const Var& a) {
+  GRGAD_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  GRGAD_CHECK_GT(n, 0u);
+  Matrix out(1, 1);
+  for (size_t i = 0; i < n; ++i) out(0, 0) += a.value()(i, i);
+  out(0, 0) /= static_cast<double>(n);
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a}, [an, n](const Matrix& g) {
+    if (!an->requires_grad) return;
+    Matrix gg(n, n);
+    const double gv = g(0, 0) / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) gg(i, i) = gv;
+    an->AccumulateGrad(gg);
+  });
+}
+
+Var MaskedLogSumExp(const Var& a, const std::vector<uint8_t>& mask) {
+  const Matrix& x = a.value();
+  GRGAD_CHECK_EQ(mask.size(), x.size());
+  double max_v = -HUGE_VAL;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (mask[i]) max_v = std::max(max_v, x.data()[i]);
+  }
+  GRGAD_CHECK(max_v > -HUGE_VAL);  // At least one masked-in entry.
+  double sum_e = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (mask[i]) sum_e += std::exp(x.data()[i] - max_v);
+  }
+  Matrix out(1, 1);
+  out(0, 0) = max_v + std::log(sum_e);
+  auto an = AutogradOps::node(a);
+  return MakeOpNode(std::move(out), {a},
+                    [an, mask, max_v, sum_e](const Matrix& g) {
+                      if (!an->requires_grad) return;
+                      const Matrix& x = an->value;
+                      Matrix gg(x.rows(), x.cols());
+                      const double gv = g(0, 0);
+                      for (size_t i = 0; i < x.size(); ++i) {
+                        if (!mask[i]) continue;
+                        gg.data()[i] =
+                            gv * std::exp(x.data()[i] - max_v) / sum_e;
+                      }
+                      an->AccumulateGrad(gg);
+                    });
+}
+
+}  // namespace grgad

@@ -1,0 +1,178 @@
+// Reverse-mode automatic differentiation over dense matrices.
+//
+// A Var is a shared handle to a node in a dynamically built tape
+// (define-by-run, like PyTorch): every op records its parents and a backward
+// closure. Var::Backward() on a 1x1 loss runs the tape in reverse creation
+// order and accumulates gradients into every node with requires_grad set.
+//
+// The op set is exactly what the paper's models need: GCN layers
+// (Spmm/MatMul/bias/ReLU), autoencoder losses (Sigmoid/MSE/pairwise inner
+// products), TPGCL readout (GatherRows/MeanRows/StackRows), and the MINE
+// objective of Eqn. (8) (ConcatCols/Reshape/DiagMean/MaskedLogSumExp). Every
+// op's gradient is validated against finite differences in
+// tests/nn/autograd_test.cc.
+#ifndef GRGAD_NN_AUTOGRAD_H_
+#define GRGAD_NN_AUTOGRAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/tensor/sparse.h"
+
+namespace grgad {
+
+namespace internal {
+
+/// Tape node: value, accumulated gradient, and the backward closure.
+struct VarNode {
+  Matrix value;
+  Matrix grad;  // Empty until first accumulation.
+  bool requires_grad = false;
+  uint64_t id = 0;  // Monotonic creation index; defines topological order.
+  std::vector<std::shared_ptr<VarNode>> parents;
+  // Invoked with this node's output gradient; accumulates into parents.
+  std::function<void(const Matrix&)> backward_fn;
+
+  /// Adds g into grad (allocating on first use). Shape-checked.
+  void AccumulateGrad(const Matrix& g);
+};
+
+}  // namespace internal
+
+/// Shared handle to an autograd tape node.
+///
+/// Copying a Var aliases the underlying node (like a torch.Tensor handle).
+/// Leaf Vars wrap a constant (requires_grad=false) or a trainable parameter
+/// (requires_grad=true); ops produce interior nodes.
+class Var {
+ public:
+  /// Undefined handle.
+  Var() = default;
+
+  /// Leaf node wrapping `value`.
+  explicit Var(Matrix value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const;
+  /// Mutable access to the value; used by optimizers for in-place updates.
+  Matrix& mutable_value();
+  /// Accumulated gradient; empty Matrix if none was propagated.
+  const Matrix& grad() const;
+  bool requires_grad() const;
+
+  size_t rows() const { return value().rows(); }
+  size_t cols() const { return value().cols(); }
+
+  /// Clears the accumulated gradient (deallocates).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this node, which must hold a
+  /// 1x1 value; seeds with d(loss)/d(loss) = 1.
+  void Backward() const;
+
+  /// Scalar convenience for 1x1 Vars.
+  double item() const;
+
+ private:
+  explicit Var(std::shared_ptr<internal::VarNode> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<internal::VarNode> node_;
+
+  friend class AutogradOps;
+};
+
+/// Grants the op free-functions access to Var's node (implementation detail).
+class AutogradOps {
+ public:
+  static std::shared_ptr<internal::VarNode> node(const Var& v) {
+    return v.node_;
+  }
+  static Var Wrap(std::shared_ptr<internal::VarNode> n) {
+    return Var(std::move(n));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ops. All shape preconditions are CHECKed.
+// ---------------------------------------------------------------------------
+
+/// a(m x k) * b(k x n).
+Var MatMul(const Var& a, const Var& b);
+
+/// Constant sparse s(m x k) * dense x(k x n). `s` must outlive backward; it
+/// is held by shared_ptr.
+Var Spmm(std::shared_ptr<const SparseMatrix> s, const Var& x);
+
+/// Elementwise a + b (same shape).
+Var Add(const Var& a, const Var& b);
+/// Elementwise a - b (same shape).
+Var Sub(const Var& a, const Var& b);
+/// Elementwise a * b (same shape).
+Var Mul(const Var& a, const Var& b);
+/// a * scalar.
+Var Scale(const Var& a, double s);
+/// Adds the 1 x cols row vector `bias` to every row of a.
+Var AddRowBroadcast(const Var& a, const Var& bias);
+
+/// Elementwise max(0, x).
+Var Relu(const Var& a);
+/// Elementwise logistic sigmoid.
+Var Sigmoid(const Var& a);
+/// Elementwise tanh.
+Var Tanh(const Var& a);
+/// Elementwise exp.
+Var Exp(const Var& a);
+/// Elementwise log(x + eps); eps guards against log(0).
+Var Log(const Var& a, double eps = 1e-12);
+
+/// Transposed copy.
+Var Transpose(const Var& a);
+
+/// Sum of all entries -> 1x1.
+Var SumAll(const Var& a);
+/// Mean of all entries -> 1x1.
+Var MeanAll(const Var& a);
+/// Sum of squared entries -> 1x1 (L2 penalty building block).
+Var SumSquares(const Var& a);
+
+/// Mean squared error against a constant target -> 1x1.
+Var MseLoss(const Var& pred, const Matrix& target);
+/// Per-entry weighted MSE against a constant target -> 1x1:
+/// mean(w .* (pred - target)^2). `weights` must match pred's shape.
+Var WeightedMseLoss(const Var& pred, const Matrix& target,
+                    const Matrix& weights);
+
+/// Gathers rows (duplicates allowed); backward scatter-adds.
+Var GatherRows(const Var& a, std::vector<int> rows);
+
+/// Column-wise mean over rows -> 1 x cols (graph readout).
+Var MeanRows(const Var& a);
+
+/// Stacks m Vars of shape 1 x d into an m x d matrix.
+Var StackRows(const std::vector<Var>& rows);
+
+/// Horizontal concatenation [a | b]; row counts must match.
+Var ConcatCols(const Var& a, const Var& b);
+
+/// Reinterprets the (row-major) data as r x c; element count must match.
+Var Reshape(const Var& a, size_t r, size_t c);
+
+/// out_p = dot(z[i_p], z[j_p]) for each pair -> p x 1. The inner-product
+/// structure decoder of GAE, evaluated only on sampled pairs.
+Var PairInnerProduct(const Var& z, std::vector<std::pair<int, int>> pairs);
+
+/// Mean of the main diagonal of a square matrix -> 1x1.
+Var DiagMean(const Var& a);
+
+/// log(sum over entries with mask != 0 of exp(a_ij)) -> 1x1, computed
+/// stably. At least one entry must be masked in.
+Var MaskedLogSumExp(const Var& a, const std::vector<uint8_t>& mask);
+
+}  // namespace grgad
+
+#endif  // GRGAD_NN_AUTOGRAD_H_

@@ -1,0 +1,80 @@
+#include "src/nn/layers.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace grgad {
+
+Matrix GlorotUniform(size_t in_dim, size_t out_dim, Rng* rng) {
+  GRGAD_CHECK(rng != nullptr);
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_dim + out_dim));
+  Matrix w(in_dim, out_dim);
+  for (size_t i = 0; i < in_dim; ++i) {
+    for (size_t j = 0; j < out_dim; ++j) {
+      w(i, j) = rng->Uniform(-limit, limit);
+    }
+  }
+  return w;
+}
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng, bool use_bias)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(GlorotUniform(in_dim, out_dim, rng), /*requires_grad=*/true) {
+  if (use_bias) {
+    bias_ = Var(Matrix(1, out_dim), /*requires_grad=*/true);
+  }
+}
+
+Var Linear::Forward(const Var& x) const {
+  GRGAD_CHECK_EQ(x.cols(), in_dim_);
+  Var out = MatMul(x, weight_);
+  if (bias_.defined()) out = AddRowBroadcast(out, bias_);
+  return out;
+}
+
+std::vector<Var> Linear::Params() const {
+  std::vector<Var> out = {weight_};
+  if (bias_.defined()) out.push_back(bias_);
+  return out;
+}
+
+GcnLayer::GcnLayer(size_t in_dim, size_t out_dim, Rng* rng, bool use_bias)
+    : linear_(in_dim, out_dim, rng, use_bias) {}
+
+Var GcnLayer::Forward(const std::shared_ptr<const SparseMatrix>& op,
+                      const Var& x) const {
+  GRGAD_CHECK(op != nullptr);
+  GRGAD_CHECK_EQ(op->cols(), x.rows());
+  // (op X) W == op (X W); the right association is cheaper because W is thin.
+  return Spmm(op, linear_.Forward(x));
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng* rng, bool use_bias) {
+  GRGAD_CHECK_GE(dims.size(), 2u);
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng, use_bias);
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+std::vector<Var> Mlp::Params() const {
+  std::vector<Var> out;
+  for (const Linear& l : layers_) {
+    for (const Var& p : l.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace grgad

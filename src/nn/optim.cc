@@ -1,0 +1,87 @@
+#include "src/nn/optim.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+Adam::Adam(std::vector<Var> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    GRGAD_CHECK(p.defined() && p.requires_grad());
+    m_.emplace_back(p.rows(), p.cols());
+    v_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  // Optional global-norm clipping across all parameter gradients.
+  double scale = 1.0;
+  if (options_.clip_grad_norm > 0.0) {
+    double total_sq = 0.0;
+    for (const Var& p : params_) {
+      if (p.grad().empty()) continue;
+      const double n = p.grad().FrobeniusNorm();
+      total_sq += n * n;
+    }
+    const double total = std::sqrt(total_sq);
+    if (total > options_.clip_grad_norm) {
+      scale = options_.clip_grad_norm / total;
+    }
+  }
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Var& p = params_[k];
+    if (p.grad().empty()) continue;
+    Matrix& value = p.mutable_value();
+    const Matrix& g = p.grad();
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    for (size_t i = 0; i < value.size(); ++i) {
+      const double gi = g.data()[i] * scale;
+      m.data()[i] = options_.beta1 * m.data()[i] + (1.0 - options_.beta1) * gi;
+      v.data()[i] =
+          options_.beta2 * v.data()[i] + (1.0 - options_.beta2) * gi * gi;
+      const double m_hat = m.data()[i] / bc1;
+      const double v_hat = v.data()[i] / bc2;
+      double update = options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+      if (options_.weight_decay > 0.0) {
+        update += options_.lr * options_.weight_decay * value.data()[i];
+      }
+      value.data()[i] -= update;
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Var> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const Var& p : params_) {
+    GRGAD_CHECK(p.defined() && p.requires_grad());
+  }
+}
+
+void Sgd::Step() {
+  for (Var& p : params_) {
+    if (p.grad().empty()) continue;
+    Matrix& value = p.mutable_value();
+    const Matrix& g = p.grad();
+    for (size_t i = 0; i < value.size(); ++i) {
+      value.data()[i] -= lr_ * g.data()[i];
+    }
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+}  // namespace grgad

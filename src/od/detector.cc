@@ -1,0 +1,45 @@
+#include "src/od/detector.h"
+
+#include "src/od/ecod.h"
+#include "src/od/ensemble.h"
+#include "src/od/iforest.h"
+#include "src/od/knn.h"
+#include "src/od/lof.h"
+#include "src/od/mad.h"
+
+namespace grgad {
+
+std::unique_ptr<OutlierDetector> MakeOutlierDetector(DetectorKind kind,
+                                                     uint64_t seed) {
+  switch (kind) {
+    case DetectorKind::kEcod:
+      return std::make_unique<Ecod>();
+    case DetectorKind::kLof:
+      return std::make_unique<Lof>();
+    case DetectorKind::kKnn:
+      return std::make_unique<KnnDetector>();
+    case DetectorKind::kIsolationForest: {
+      IsolationForestOptions options;
+      options.seed = seed;
+      return std::make_unique<IsolationForest>(options);
+    }
+    case DetectorKind::kMad:
+      return std::make_unique<MadDetector>();
+    case DetectorKind::kEnsemble:
+      return EnsembleDetector::MakeDefault(seed);
+  }
+  return nullptr;
+}
+
+bool ParseDetectorKind(const std::string& name, DetectorKind* out) {
+  if (name == "ecod") *out = DetectorKind::kEcod;
+  else if (name == "lof") *out = DetectorKind::kLof;
+  else if (name == "knn") *out = DetectorKind::kKnn;
+  else if (name == "iforest") *out = DetectorKind::kIsolationForest;
+  else if (name == "mad") *out = DetectorKind::kMad;
+  else if (name == "ensemble") *out = DetectorKind::kEnsemble;
+  else return false;
+  return true;
+}
+
+}  // namespace grgad

@@ -1,0 +1,45 @@
+// Common interface for unsupervised outlier detectors.
+//
+// TPGCL hands its 64-d group embeddings to one of these (the paper uses
+// ECOD; LOF / kNN / IsolationForest / MAD are interchangeable alternatives
+// behind the same interface). Scores are "higher = more anomalous" and are
+// only meaningful relative to each other within a single FitScore call.
+#ifndef GRGAD_OD_DETECTOR_H_
+#define GRGAD_OD_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace grgad {
+
+/// Unsupervised detector: fit on x (rows = samples) and return one anomaly
+/// score per row.
+class OutlierDetector {
+ public:
+  virtual ~OutlierDetector() = default;
+
+  /// Fits on `x` and returns per-row anomaly scores (size x.rows()).
+  virtual std::vector<double> FitScore(const Matrix& x) = 0;
+
+  /// Short identifier for logs and bench tables (e.g. "ecod").
+  virtual std::string Name() const = 0;
+};
+
+/// Detector ids accepted by MakeOutlierDetector. kEnsemble is the
+/// SUOD-style rank-averaged combination of ECOD + LOF + IsolationForest.
+enum class DetectorKind { kEcod, kLof, kKnn, kIsolationForest, kMad,
+                          kEnsemble };
+
+/// Factory. `seed` only matters for stochastic detectors (IsolationForest).
+std::unique_ptr<OutlierDetector> MakeOutlierDetector(DetectorKind kind,
+                                                     uint64_t seed = 7);
+
+/// Parses "ecod" | "lof" | "knn" | "iforest" | "mad".
+bool ParseDetectorKind(const std::string& name, DetectorKind* out);
+
+}  // namespace grgad
+
+#endif  // GRGAD_OD_DETECTOR_H_

@@ -1,0 +1,70 @@
+#include "src/od/ecod.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+namespace {
+
+/// Sample skewness of a column (0 for degenerate columns).
+double Skewness(const std::vector<double>& col) {
+  const size_t n = col.size();
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : col) mean += v;
+  mean /= static_cast<double>(n);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : col) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 1e-300) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+}  // namespace
+
+std::vector<double> Ecod::FitScore(const Matrix& x) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  GRGAD_CHECK_GT(n, 0u);
+  std::vector<double> o_left(n, 0.0), o_right(n, 0.0), o_auto(n, 0.0);
+  std::vector<double> col(n);
+  std::vector<double> sorted(n);
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t i = 0; i < n; ++i) col[i] = x(i, j);
+    sorted = col;
+    std::sort(sorted.begin(), sorted.end());
+    const double skew = Skewness(col);
+    for (size_t i = 0; i < n; ++i) {
+      // Left tail: P(X <= x_i) with the sample included -> rank/(n).
+      const auto hi =
+          std::upper_bound(sorted.begin(), sorted.end(), col[i]);
+      const double p_left =
+          static_cast<double>(hi - sorted.begin()) / static_cast<double>(n);
+      // Right tail: P(X >= x_i).
+      const auto lo = std::lower_bound(sorted.begin(), sorted.end(), col[i]);
+      const double p_right =
+          static_cast<double>(sorted.end() - lo) / static_cast<double>(n);
+      const double nl = -std::log(std::max(p_left, 1e-12));
+      const double nr = -std::log(std::max(p_right, 1e-12));
+      o_left[i] += nl;
+      o_right[i] += nr;
+      // Skewness-corrected: negative skew -> left tail carries anomalies.
+      o_auto[i] += (skew < 0.0) ? nl : nr;
+    }
+  }
+  std::vector<double> score(n);
+  for (size_t i = 0; i < n; ++i) {
+    score[i] = std::max({o_left[i], o_right[i], o_auto[i]});
+  }
+  return score;
+}
+
+}  // namespace grgad

@@ -1,0 +1,26 @@
+// ECOD: unsupervised outlier detection via empirical cumulative distribution
+// functions (Li et al., TKDE 2022) — the detector the paper plugs in after
+// TPGCL.
+//
+// For every dimension j, tail probabilities are estimated from the empirical
+// CDF on both sides; a sample's dimension contribution is the negative log
+// tail probability, and the per-dimension skewness decides which tail is
+// used by the "automatic" aggregate. The final score is
+// max(O_left, O_right, O_auto), exactly as in the reference implementation.
+#ifndef GRGAD_OD_ECOD_H_
+#define GRGAD_OD_ECOD_H_
+
+#include "src/od/detector.h"
+
+namespace grgad {
+
+/// ECOD detector; parameter free and deterministic.
+class Ecod : public OutlierDetector {
+ public:
+  std::vector<double> FitScore(const Matrix& x) override;
+  std::string Name() const override { return "ecod"; }
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_OD_ECOD_H_

@@ -1,0 +1,62 @@
+#include "src/od/ensemble.h"
+
+#include <algorithm>
+
+#include "src/od/ecod.h"
+#include "src/od/iforest.h"
+#include "src/od/lof.h"
+#include "src/util/check.h"
+
+namespace grgad {
+
+std::vector<double> RankNormalize(const std::vector<double>& scores) {
+  const size_t n = scores.size();
+  std::vector<double> out(n, 0.0);
+  if (n <= 1) return out;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mean_rank = 0.5 * (static_cast<double>(i) + j);
+    for (size_t k = i; k <= j; ++k) {
+      out[order[k]] = mean_rank / static_cast<double>(n - 1);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+EnsembleDetector::EnsembleDetector(
+    std::vector<std::unique_ptr<OutlierDetector>> members)
+    : members_(std::move(members)) {
+  GRGAD_CHECK(!members_.empty());
+  for (const auto& m : members_) GRGAD_CHECK(m != nullptr);
+}
+
+std::unique_ptr<EnsembleDetector> EnsembleDetector::MakeDefault(
+    uint64_t seed) {
+  std::vector<std::unique_ptr<OutlierDetector>> members;
+  members.push_back(std::make_unique<Ecod>());
+  members.push_back(std::make_unique<Lof>());
+  IsolationForestOptions iforest;
+  iforest.seed = seed;
+  members.push_back(std::make_unique<IsolationForest>(iforest));
+  return std::make_unique<EnsembleDetector>(std::move(members));
+}
+
+std::vector<double> EnsembleDetector::FitScore(const Matrix& x) {
+  std::vector<double> combined(x.rows(), 0.0);
+  for (auto& member : members_) {
+    const std::vector<double> ranks = RankNormalize(member->FitScore(x));
+    for (size_t i = 0; i < combined.size(); ++i) combined[i] += ranks[i];
+  }
+  for (double& v : combined) v /= static_cast<double>(members_.size());
+  return combined;
+}
+
+}  // namespace grgad

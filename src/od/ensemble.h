@@ -1,0 +1,41 @@
+// Ensemble detector in the spirit of SUOD (the paper's other suggested
+// scorer): run several base detectors and average their rank-normalized
+// scores. Rank normalization makes heterogeneous score scales (ECOD's
+// -log tail probabilities vs LOF's density ratios vs IForest's [0,1])
+// directly comparable.
+#ifndef GRGAD_OD_ENSEMBLE_H_
+#define GRGAD_OD_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/od/detector.h"
+
+namespace grgad {
+
+/// Averages rank-normalized scores of the given base detectors.
+class EnsembleDetector : public OutlierDetector {
+ public:
+  /// Takes ownership of the base detectors; at least one is required.
+  explicit EnsembleDetector(
+      std::vector<std::unique_ptr<OutlierDetector>> members);
+
+  /// Default paper-flavored ensemble: ECOD + LOF + IsolationForest.
+  static std::unique_ptr<EnsembleDetector> MakeDefault(uint64_t seed = 7);
+
+  std::vector<double> FitScore(const Matrix& x) override;
+  std::string Name() const override { return "ensemble"; }
+
+  size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<OutlierDetector>> members_;
+};
+
+/// Maps scores to average ranks scaled into [0, 1] (ties share their mean
+/// rank). Exposed for tests.
+std::vector<double> RankNormalize(const std::vector<double>& scores);
+
+}  // namespace grgad
+
+#endif  // GRGAD_OD_ENSEMBLE_H_

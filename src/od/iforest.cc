@@ -1,0 +1,125 @@
+#include "src/od/iforest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace grgad {
+
+double AveragePathLength(int n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const double h = std::log(n - 1.0) + 0.5772156649015329;  // Harmonic approx.
+  return 2.0 * h - 2.0 * (n - 1.0) / n;
+}
+
+namespace {
+
+struct IsoNode {
+  int feature = -1;       // -1 marks a leaf.
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  int size = 0;           // Samples reaching this node (leaves only).
+};
+
+/// One isolation tree over the rows of x listed in `items`.
+class IsoTree {
+ public:
+  IsoTree(const Matrix& x, std::vector<int> items, int max_depth, Rng* rng) {
+    root_ = BuildNode(x, std::move(items), 0, max_depth, rng);
+  }
+
+  double PathLength(const Matrix& x, int row) const {
+    int node = root_;
+    double depth = 0.0;
+    while (nodes_[node].feature >= 0) {
+      node = x(row, nodes_[node].feature) < nodes_[node].threshold
+                 ? nodes_[node].left
+                 : nodes_[node].right;
+      depth += 1.0;
+    }
+    return depth + AveragePathLength(nodes_[node].size);
+  }
+
+ private:
+  int BuildNode(const Matrix& x, std::vector<int> items, int depth,
+                int max_depth, Rng* rng) {
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    if (depth >= max_depth || items.size() <= 1) {
+      nodes_[id].size = static_cast<int>(items.size());
+      return id;
+    }
+    // Pick a feature with spread; give up after a few tries (constant data).
+    const int d = static_cast<int>(x.cols());
+    int feature = -1;
+    double lo = 0.0, hi = 0.0;
+    for (int attempt = 0; attempt < 8 && feature < 0; ++attempt) {
+      const int f = static_cast<int>(rng->UniformInt(
+          static_cast<uint64_t>(d)));
+      lo = hi = x(items[0], f);
+      for (int row : items) {
+        lo = std::min(lo, x(row, f));
+        hi = std::max(hi, x(row, f));
+      }
+      if (hi > lo) feature = f;
+    }
+    if (feature < 0) {
+      nodes_[id].size = static_cast<int>(items.size());
+      return id;
+    }
+    const double threshold = rng->Uniform(lo, hi);
+    std::vector<int> left_items, right_items;
+    for (int row : items) {
+      (x(row, feature) < threshold ? left_items : right_items).push_back(row);
+    }
+    if (left_items.empty() || right_items.empty()) {
+      nodes_[id].size = static_cast<int>(items.size());
+      return id;
+    }
+    nodes_[id].feature = feature;
+    nodes_[id].threshold = threshold;
+    const int left = BuildNode(x, std::move(left_items), depth + 1, max_depth,
+                               rng);
+    const int right = BuildNode(x, std::move(right_items), depth + 1,
+                                max_depth, rng);
+    nodes_[id].left = left;
+    nodes_[id].right = right;
+    return id;
+  }
+
+  std::vector<IsoNode> nodes_;
+  int root_ = 0;
+};
+
+}  // namespace
+
+std::vector<double> IsolationForest::FitScore(const Matrix& x) {
+  const int n = static_cast<int>(x.rows());
+  GRGAD_CHECK_GT(n, 0);
+  const int psi = std::min(options_.subsample, n);
+  const int max_depth =
+      static_cast<int>(std::ceil(std::log2(std::max(2, psi))));
+  Rng rng(options_.seed);
+  std::vector<double> total_path(n, 0.0);
+  for (int t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> sample =
+        rng.SampleWithoutReplacement(static_cast<size_t>(n),
+                                     static_cast<size_t>(psi));
+    std::vector<int> items(sample.begin(), sample.end());
+    IsoTree tree(x, std::move(items), max_depth, &rng);
+    for (int i = 0; i < n; ++i) total_path[i] += tree.PathLength(x, i);
+  }
+  const double c = AveragePathLength(psi);
+  std::vector<double> score(n);
+  for (int i = 0; i < n; ++i) {
+    const double mean_path = total_path[i] / options_.num_trees;
+    score[i] = std::pow(2.0, -mean_path / std::max(c, 1e-12));
+  }
+  return score;
+}
+
+}  // namespace grgad

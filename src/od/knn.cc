@@ -1,0 +1,64 @@
+#include "src/od/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+Matrix PairwiseDistances(const Matrix& x) {
+  const size_t n = x.rows();
+  Matrix d(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double* a = x.RowPtr(i);
+      const double* b = x.RowPtr(j);
+      double s = 0.0;
+      for (size_t k = 0; k < x.cols(); ++k) {
+        const double diff = a[k] - b[k];
+        s += diff * diff;
+      }
+      const double dist = std::sqrt(s);
+      d(i, j) = dist;
+      d(j, i) = dist;
+    }
+  }
+  return d;
+}
+
+std::vector<std::vector<int>> KNearestNeighbors(const Matrix& x, int k) {
+  const int n = static_cast<int>(x.rows());
+  GRGAD_CHECK_GT(n, 1);
+  k = std::min(k, n - 1);
+  const Matrix d = PairwiseDistances(x);
+  std::vector<std::vector<int>> out(n);
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) {
+    idx.clear();
+    for (int j = 0; j < n; ++j) {
+      if (j != i) idx.push_back(j);
+    }
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                      [&d, i](int a, int b) {
+                        if (d(i, a) != d(i, b)) return d(i, a) < d(i, b);
+                        return a < b;
+                      });
+    out[i].assign(idx.begin(), idx.begin() + k);
+  }
+  return out;
+}
+
+std::vector<double> KnnDetector::FitScore(const Matrix& x) {
+  const int n = static_cast<int>(x.rows());
+  GRGAD_CHECK_GT(n, 0);
+  if (n == 1) return {0.0};
+  const int k = std::min(k_, n - 1);
+  const auto nn = KNearestNeighbors(x, k);
+  const Matrix d = PairwiseDistances(x);
+  std::vector<double> score(n);
+  for (int i = 0; i < n; ++i) score[i] = d(i, nn[i].back());
+  return score;
+}
+
+}  // namespace grgad

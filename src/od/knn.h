@@ -1,0 +1,30 @@
+// Distance-based detectors: exact k-nearest-neighbor utilities plus the
+// classic kNN outlier score (distance to the k-th neighbor).
+#ifndef GRGAD_OD_KNN_H_
+#define GRGAD_OD_KNN_H_
+
+#include "src/od/detector.h"
+
+namespace grgad {
+
+/// Pairwise Euclidean distance matrix (n x n, zero diagonal).
+Matrix PairwiseDistances(const Matrix& x);
+
+/// For each row, indices of its k nearest other rows (ascending distance;
+/// ties broken by index). k is clamped to n-1.
+std::vector<std::vector<int>> KNearestNeighbors(const Matrix& x, int k);
+
+/// kNN outlier detector: score = distance to the k-th nearest neighbor.
+class KnnDetector : public OutlierDetector {
+ public:
+  explicit KnnDetector(int k = 5) : k_(k) {}
+  std::vector<double> FitScore(const Matrix& x) override;
+  std::string Name() const override { return "knn"; }
+
+ private:
+  int k_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_OD_KNN_H_

@@ -1,0 +1,41 @@
+#include "src/od/lof.h"
+
+#include <algorithm>
+
+#include "src/od/knn.h"
+#include "src/util/check.h"
+
+namespace grgad {
+
+std::vector<double> Lof::FitScore(const Matrix& x) {
+  const int n = static_cast<int>(x.rows());
+  GRGAD_CHECK_GT(n, 0);
+  if (n <= 2) return std::vector<double>(n, 1.0);
+  const int k = std::min(k_, n - 1);
+  const Matrix d = PairwiseDistances(x);
+  const auto nn = KNearestNeighbors(x, k);
+  // k-distance of each point = distance to its k-th neighbor.
+  std::vector<double> kdist(n);
+  for (int i = 0; i < n; ++i) kdist[i] = d(i, nn[i].back());
+  // Local reachability density.
+  std::vector<double> lrd(n);
+  for (int i = 0; i < n; ++i) {
+    double sum_reach = 0.0;
+    for (int j : nn[i]) {
+      sum_reach += std::max(kdist[j], d(i, j));
+    }
+    lrd[i] = sum_reach > 0.0 ? static_cast<double>(nn[i].size()) / sum_reach
+                             : 1e12;  // Duplicated points: huge density.
+  }
+  std::vector<double> lof(n);
+  for (int i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (int j : nn[i]) s += lrd[j];
+    lof[i] = lrd[i] > 0.0
+                 ? s / (static_cast<double>(nn[i].size()) * lrd[i])
+                 : 0.0;
+  }
+  return lof;
+}
+
+}  // namespace grgad

@@ -1,0 +1,23 @@
+// Local Outlier Factor (Breunig et al., 2000).
+#ifndef GRGAD_OD_LOF_H_
+#define GRGAD_OD_LOF_H_
+
+#include "src/od/detector.h"
+
+namespace grgad {
+
+/// LOF detector: ratio of the average local reachability density of a
+/// point's neighbors to its own (≈1 for inliers, >1 for outliers).
+class Lof : public OutlierDetector {
+ public:
+  explicit Lof(int k = 10) : k_(k) {}
+  std::vector<double> FitScore(const Matrix& x) override;
+  std::string Name() const override { return "lof"; }
+
+ private:
+  int k_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_OD_LOF_H_

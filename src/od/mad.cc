@@ -1,0 +1,47 @@
+#include "src/od/mad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+namespace {
+
+double Median(std::vector<double> v) {
+  GRGAD_CHECK(!v.empty());
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    std::nth_element(v.begin(), v.begin() + mid - 1, v.end());
+    m = 0.5 * (m + v[mid - 1]);
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<double> MadDetector::FitScore(const Matrix& x) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  GRGAD_CHECK_GT(n, 0u);
+  std::vector<double> score(n, 0.0);
+  std::vector<double> col(n);
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t i = 0; i < n; ++i) col[i] = x(i, j);
+    const double med = Median(col);
+    std::vector<double> dev(n);
+    for (size_t i = 0; i < n; ++i) dev[i] = std::fabs(col[i] - med);
+    const double mad = Median(dev);
+    const double denom = std::max(1.4826 * mad, 1e-9);
+    for (size_t i = 0; i < n; ++i) score[i] += dev[i] / denom;
+  }
+  if (d > 0) {
+    for (double& s : score) s /= static_cast<double>(d);
+  }
+  return score;
+}
+
+}  // namespace grgad

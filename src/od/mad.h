@@ -1,0 +1,19 @@
+// Median-absolute-deviation robust z-score detector (per-dimension robust
+// z, aggregated by mean). Cheap, deterministic reference detector.
+#ifndef GRGAD_OD_MAD_H_
+#define GRGAD_OD_MAD_H_
+
+#include "src/od/detector.h"
+
+namespace grgad {
+
+/// Robust z-score detector: score_i = mean_j |x_ij - med_j| / (1.4826 MAD_j).
+class MadDetector : public OutlierDetector {
+ public:
+  std::vector<double> FitScore(const Matrix& x) override;
+  std::string Name() const override { return "mad"; }
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_OD_MAD_H_

@@ -1,0 +1,167 @@
+#include "src/sampling/group_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/graphsnn.h"
+#include "src/util/rng.h"
+
+namespace grgad {
+
+namespace {
+
+/// Euclidean attribute distance between adjacent nodes.
+double AttrDistance(const Graph& g, int u, int v) {
+  const double* a = g.attributes().RowPtr(u);
+  const double* b = g.attributes().RowPtr(v);
+  double s = 0.0;
+  for (size_t j = 0; j < g.attr_dim(); ++j) {
+    const double d = a[j] - b[j];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+/// Reconstructs the parent-pointer path src -> dst (inclusive); empty when
+/// dst unreachable.
+std::vector<int> PathFromParents(const std::vector<int>& parent, int src,
+                                 int dst) {
+  if (parent[dst] == -1) return {};
+  std::vector<int> path = {dst};
+  for (int u = dst; u != src; u = parent[u]) {
+    path.push_back(parent[u]);
+    if (path.size() > parent.size()) return {};  // Corrupt parents guard.
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+GroupSampler::GroupSampler(GroupSamplerOptions options) : options_(options) {}
+
+std::vector<std::vector<int>> GroupSampler::Sample(
+    const Graph& g, const std::vector<int>& anchors) const {
+  std::vector<std::vector<int>> out;
+  std::set<std::vector<int>> seen;  // Exact-duplicate filter.
+  auto emit = [&](std::vector<int> group) {
+    if (static_cast<int>(group.size()) < options_.min_group_size) return;
+    if (static_cast<int>(group.size()) > options_.max_group_size) {
+      group.resize(options_.max_group_size);
+    }
+    std::sort(group.begin(), group.end());
+    group.erase(std::unique(group.begin(), group.end()), group.end());
+    if (static_cast<int>(group.size()) < options_.min_group_size) return;
+    if (seen.insert(group).second) out.push_back(std::move(group));
+  };
+
+  std::vector<uint8_t> is_anchor(g.num_nodes(), 0);
+  for (int a : anchors) {
+    GRGAD_CHECK(a >= 0 && a < g.num_nodes());
+    is_anchor[a] = 1;
+  }
+
+  // GraphSNN edge costs, if requested (edge index order = g.Edges()).
+  std::vector<double> snn_costs;
+  if (options_.path_mode == PathSearchMode::kGraphSnnWeighted) {
+    const std::vector<double> snn = GraphSnnEdgeWeights(g, /*lambda=*/1.0);
+    snn_costs.resize(snn.size());
+    for (size_t e = 0; e < snn.size(); ++e) {
+      snn_costs[e] = 1.0 / (options_.graphsnn_cost_eps + snn[e]);
+    }
+  }
+  const bool use_attr_paths =
+      options_.path_mode == PathSearchMode::kAttributeDistance &&
+      g.has_attributes();
+  auto attr_cost = [&g, this](int u, int v) {
+    return options_.attribute_cost_eps + AttrDistance(g, u, v);
+  };
+
+  for (int v : anchors) {
+    // One BFS serves pair discovery (hop distances) for every µ; the
+    // weighted parents come from a single Dijkstra per anchor.
+    const BfsTree bfs = BuildBfsTree(g, v, options_.pair_radius);
+    std::vector<double> wdist;
+    std::vector<int> wparent;
+    if (use_attr_paths) {
+      Dijkstra(g, v, attr_cost, &wdist, &wparent);
+    }
+    // Nearby anchors, ordered by (weighted or hop) distance.
+    std::vector<std::pair<double, int>> nearby;
+    for (int mu : anchors) {
+      if (mu == v || bfs.depth[mu] == kUnreachable) continue;
+      const double d = use_attr_paths ? wdist[mu]
+                                      : static_cast<double>(bfs.depth[mu]);
+      nearby.emplace_back(d, mu);
+    }
+    std::sort(nearby.begin(), nearby.end());
+
+    // --- Line 5: PathSearch(v, µ) for the nearest anchors. ---
+    std::vector<int> tree_union;
+    int fanout_used = 0;
+    int paths_emitted = 0;
+    for (const auto& [d, mu] : nearby) {
+      if (paths_emitted >= options_.max_paths_per_anchor) break;
+      std::vector<int> path;
+      if (use_attr_paths) {
+        path = PathFromParents(wparent, v, mu);
+      } else if (options_.path_mode == PathSearchMode::kGraphSnnWeighted) {
+        path = BellmanFordPath(g, v, mu, snn_costs);
+      } else {
+        path = PathFromParents(bfs.parent, v, mu);
+      }
+      if (path.empty() ||
+          static_cast<int>(path.size()) > options_.max_group_size) {
+        continue;
+      }
+      emit(path);
+      ++paths_emitted;
+      // --- Line 7: TreeSearch(v, µ): union of the paths to the nearest
+      // anchors forms the hierarchical structure between them. ---
+      if (fanout_used < options_.tree_fanout) {
+        tree_union.insert(tree_union.end(), path.begin(), path.end());
+        ++fanout_used;
+        if (fanout_used >= 2) emit(tree_union);
+      }
+    }
+    // --- Line 10: CycleSearch(v). ---
+    const auto cycles = CyclesThrough(g, v, options_.cycle_max_len,
+                                      options_.max_cycles_per_anchor,
+                                      options_.cycle_max_steps);
+    for (const auto& cycle : cycles) emit(cycle);
+  }
+
+  // --- Extension: bridged connected components of the anchor set. ---
+  if (options_.include_anchor_components) {
+    std::vector<int> expanded = anchors;
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      if (is_anchor[u]) continue;
+      int anchor_neighbors = 0;
+      for (int w : g.Neighbors(u)) anchor_neighbors += is_anchor[w];
+      if (anchor_neighbors >= 2) expanded.push_back(u);
+    }
+    std::sort(expanded.begin(), expanded.end());
+    for (auto& component : ComponentsOfSubset(g, expanded)) {
+      emit(std::move(component));
+    }
+  }
+
+  // Seeded uniform subsample when over budget (keeps per-anchor diversity).
+  if (options_.max_groups > 0 &&
+      static_cast<int>(out.size()) > options_.max_groups) {
+    Rng rng(options_.seed ^ 0x73616d70ULL);
+    const auto keep = rng.SampleWithoutReplacement(
+        out.size(), static_cast<size_t>(options_.max_groups));
+    std::vector<size_t> order(keep.begin(), keep.end());
+    std::sort(order.begin(), order.end());
+    std::vector<std::vector<int>> sampled;
+    sampled.reserve(order.size());
+    for (size_t idx : order) sampled.push_back(std::move(out[idx]));
+    out = std::move(sampled);
+  }
+  return out;
+}
+
+}  // namespace grgad

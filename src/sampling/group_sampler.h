@@ -1,0 +1,87 @@
+// Candidate-group sampling (paper Alg. 1): starting from MH-GAE's anchor
+// nodes, sample path, tree, and cycle groups that may be anomalous.
+//
+// For every anchor pair (v, µ) within reach: PathSearch finds the cheapest
+// v–µ path — by hop count, or (default) by attribute-distance edge costs
+// via Dijkstra, the weighted-search reading of the paper's Bellman–Ford
+// citation (criminal groups share coherent attributes, so cheap edges trace
+// the group instead of shortcutting through the background). TreeSearch
+// emits the union of the search-tree paths from v to its nearest anchors —
+// the hierarchical structure *between* anchors. CycleSearch enumerates
+// simple cycles through each anchor. Additionally (extension, on by
+// default), the connected components of the anchor set itself — bridged
+// across single non-anchor gaps — are emitted, mirroring how Sub-GAD
+// methods consolidate anomalous nodes.
+//
+// Overlapping and near-duplicate candidates are intentionally kept (§V-C1
+// notes they help TPGCL); only exact duplicates are dropped. When more than
+// `max_groups` candidates accumulate, a seeded uniform subsample is
+// returned so every anchor contributes, rather than truncating the anchor
+// loop.
+#ifndef GRGAD_SAMPLING_GROUP_SAMPLER_H_
+#define GRGAD_SAMPLING_GROUP_SAMPLER_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace grgad {
+
+/// Path-search edge-cost mode.
+enum class PathSearchMode {
+  kUnweighted,          ///< Hop count (BFS back-pointers).
+  kAttributeDistance,   ///< Dijkstra with cost eps + ||x_u - x_v||.
+  kGraphSnnWeighted,    ///< Bellman–Ford with cost 1 / (eps + Ã_uv).
+};
+
+/// Alg. 1 knobs.
+struct GroupSamplerOptions {
+  /// Tree search: union of paths from an anchor to its `tree_fanout`
+  /// nearest anchors (within pair_radius hops).
+  int tree_fanout = 10;
+  /// Path candidates emitted per anchor (nearest anchors first); keeps the
+  /// candidate pool from being dominated by one dense anchor cluster.
+  int max_paths_per_anchor = 8;
+  /// Candidate size bounds; larger path/tree results are truncated.
+  int min_group_size = 3;
+  int max_group_size = 32;
+  /// Cycle search: maximum cycle length, per-anchor cycle budget, and a DFS
+  /// step budget per anchor (simple-path enumeration is exponential in
+  /// cycle_max_len on dense regions; the budget truncates deterministically).
+  int cycle_max_len = 12;
+  int max_cycles_per_anchor = 16;
+  int64_t cycle_max_steps = 60000;
+  /// Anchor pairs are only expanded when within this hop distance (pairs
+  /// farther apart than the size cap cannot yield a valid group).
+  int pair_radius = 32;
+  /// Cap on returned candidates (0 = unlimited); enforced by seeded
+  /// subsampling, not by truncating the anchor loop.
+  int max_groups = 2048;
+  /// Seed for the subsampling draw.
+  uint64_t seed = 13;
+  /// Path-search cost model.
+  PathSearchMode path_mode = PathSearchMode::kAttributeDistance;
+  double attribute_cost_eps = 0.25;
+  double graphsnn_cost_eps = 0.25;
+  /// Extension: also emit connected components of the anchor set, bridging
+  /// single non-anchor gaps between two anchors.
+  bool include_anchor_components = true;
+};
+
+/// Candidate-group sampler (Alg. 1).
+class GroupSampler {
+ public:
+  explicit GroupSampler(GroupSamplerOptions options = {});
+
+  /// Samples candidate groups from `anchors`; each group is a sorted list of
+  /// node ids in `g`. Exact duplicates are removed; overlaps are kept.
+  std::vector<std::vector<int>> Sample(const Graph& g,
+                                       const std::vector<int>& anchors) const;
+
+ private:
+  GroupSamplerOptions options_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_SAMPLING_GROUP_SAMPLER_H_

@@ -1,0 +1,264 @@
+#include "src/tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+namespace grgad {
+
+Matrix Matrix::FromRows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const size_t r = rows.size();
+  const size_t c = r == 0 ? 0 : rows.begin()->size();
+  Matrix out(r, c);
+  size_t i = 0;
+  for (const auto& row : rows) {
+    GRGAD_CHECK_EQ(row.size(), c);
+    size_t j = 0;
+    for (double v : row) out(i, j++) = v;
+    ++i;
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::Gaussian(size_t rows, size_t cols, Rng* rng, double mean,
+                        double stddev) {
+  GRGAD_CHECK(rng != nullptr);
+  Matrix out(rows, cols);
+  for (double& v : out.data_) v = rng->Normal(mean, stddev);
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  GRGAD_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  GRGAD_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  GRGAD_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* src = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = src[j];
+  }
+  return out;
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& f) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+  return out;
+}
+
+void Matrix::MapInPlace(const std::function<double(double)>& f) {
+  for (double& v : data_) v = f(v);
+}
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::Mean() const { return data_.empty() ? 0.0 : Sum() / data_.size(); }
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::vector<double> Matrix::RowSums() const {
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double s = 0.0;
+    for (size_t j = 0; j < cols_; ++j) s += row[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::RowMeans() const {
+  std::vector<double> out = RowSums();
+  if (cols_ > 0) {
+    for (double& v : out) v /= static_cast<double>(cols_);
+  }
+  return out;
+}
+
+std::vector<double> Matrix::ColMeans() const {
+  std::vector<double> out(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) out[j] += row[j];
+  }
+  if (rows_ > 0) {
+    for (double& v : out) v /= static_cast<double>(rows_);
+  }
+  return out;
+}
+
+double Matrix::RowNorm(size_t i) const {
+  const double* row = RowPtr(i);
+  double s = 0.0;
+  for (size_t j = 0; j < cols_; ++j) s += row[j] * row[j];
+  return std::sqrt(s);
+}
+
+Matrix Matrix::GatherRows(const std::vector<int>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    GRGAD_CHECK(rows[i] >= 0 && static_cast<size_t>(rows[i]) < rows_);
+    std::memcpy(out.RowPtr(i), RowPtr(rows[i]), cols_ * sizeof(double));
+  }
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const std::vector<double>& row) {
+  GRGAD_CHECK_EQ(row.size(), cols_);
+  std::memcpy(RowPtr(i), row.data(), cols_ * sizeof(double));
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::string out = "Matrix(" + std::to_string(rows_) + "x" +
+                    std::to_string(cols_) + ")";
+  const size_t r = std::min<size_t>(rows_, max_rows);
+  const size_t c = std::min<size_t>(cols_, max_cols);
+  char buf[48];
+  for (size_t i = 0; i < r; ++i) {
+    out += "\n  ";
+    for (size_t j = 0; j < c; ++j) {
+      std::snprintf(buf, sizeof(buf), "% .4g ", (*this)(i, j));
+      out += buf;
+    }
+    if (c < cols_) out += "...";
+  }
+  if (r < rows_) out += "\n  ...";
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix operator*(const Matrix& a, double s) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  GRGAD_CHECK_EQ(a.cols(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  // i-k-j loop: the inner j-loop streams over contiguous rows of b and out,
+  // which vectorizes well; parallelized over disjoint output row ranges.
+  ParallelFor(m, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* orow = out.RowPtr(i);
+      for (size_t kk = 0; kk < k; ++kk) {
+        const double av = arow[kk];
+        if (av == 0.0) continue;
+        const double* brow = b.RowPtr(kk);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  });
+  return out;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  GRGAD_CHECK_EQ(a.cols(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix out(m, n);
+  ParallelFor(m, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) {
+        const double* brow = b.RowPtr(j);
+        double s = 0.0;
+        for (size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+        orow[j] = s;
+      }
+    }
+  });
+  return out;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  GRGAD_CHECK_EQ(a.rows(), b.rows());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  // Accumulate rank-1 updates; serial over k, fine for the thin matrices
+  // (parameter gradients) this is used for.
+  for (size_t kk = 0; kk < k; ++kk) {
+    const double* arow = a.RowPtr(kk);
+    const double* brow = b.RowPtr(kk);
+    for (size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace grgad

@@ -1,0 +1,145 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numeric workhorse under the autograd layer (src/nn) and the
+// detectors (src/od). It favours a small, predictable API over genericity:
+// double precision only, explicit shapes, bounds-checked element access in
+// debug builds, and a blocked parallel matmul tuned for the tall-skinny
+// products (n x attr_dim times attr_dim x hidden) that dominate GCN training.
+#ifndef GRGAD_TENSOR_MATRIX_H_
+#define GRGAD_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+class Rng;
+
+/// Dense rows x cols matrix, row-major, zero-initialized by default.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix filled with `fill` (default 0).
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must have equal width.
+  static Matrix FromRows(
+      std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  /// I.i.d. Gaussian entries drawn from `rng`.
+  static Matrix Gaussian(size_t rows, size_t cols, Rng* rng,
+                         double mean = 0.0, double stddev = 1.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) {
+    GRGAD_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    GRGAD_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw pointer to row i (contiguous `cols()` doubles).
+  double* RowPtr(size_t i) {
+    GRGAD_DCHECK(i < rows_);
+    return data_.data() + i * cols_;
+  }
+  const double* RowPtr(size_t i) const {
+    GRGAD_DCHECK(i < rows_);
+    return data_.data() + i * cols_;
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// In-place elementwise arithmetic; shapes must match.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  /// In-place scalar multiply.
+  Matrix& operator*=(double s);
+
+  /// Elementwise (Hadamard) product; shapes must match.
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Returns a transposed copy.
+  Matrix Transpose() const;
+
+  /// Returns f applied elementwise.
+  Matrix Map(const std::function<double(double)>& f) const;
+  /// Applies f elementwise in place.
+  void MapInPlace(const std::function<double(double)>& f);
+
+  /// Fills all entries with `v`.
+  void Fill(double v);
+
+  /// Sum over all entries.
+  double Sum() const;
+  /// Mean over all entries (0 for an empty matrix).
+  double Mean() const;
+  /// max_ij |a_ij| (0 for an empty matrix).
+  double MaxAbs() const;
+  /// sqrt(sum of squares).
+  double FrobeniusNorm() const;
+
+  /// Per-row sums / means, length rows().
+  std::vector<double> RowSums() const;
+  std::vector<double> RowMeans() const;
+  /// Per-column means, length cols().
+  std::vector<double> ColMeans() const;
+
+  /// Euclidean norm of row i.
+  double RowNorm(size_t i) const;
+
+  /// Gathers the given rows (duplicates allowed) into a new matrix.
+  Matrix GatherRows(const std::vector<int>& rows) const;
+
+  /// Copies `row` (length cols()) into row i.
+  void SetRow(size_t i, const std::vector<double>& row);
+
+  /// True if shapes match and entries agree within `tol` absolutely.
+  bool ApproxEquals(const Matrix& other, double tol = 1e-9) const;
+
+  /// Compact human-readable dump (small matrices; tests and debugging).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// out = a + b (shapes must match).
+Matrix operator+(const Matrix& a, const Matrix& b);
+/// out = a - b (shapes must match).
+Matrix operator-(const Matrix& a, const Matrix& b);
+/// out = a * s.
+Matrix operator*(const Matrix& a, double s);
+
+/// Dense product a(m x k) * b(k x n); parallel blocked i-k-j kernel.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// a(m x k) * b(n x k)^T -> m x n. Avoids materializing b^T.
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+/// a(k x m)^T * b(k x n) -> m x n. Avoids materializing a^T.
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+}  // namespace grgad
+
+#endif  // GRGAD_TENSOR_MATRIX_H_

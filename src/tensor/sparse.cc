@@ -1,0 +1,222 @@
+#include "src/tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/parallel.h"
+
+namespace grgad {
+
+SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
+                                        std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    GRGAD_CHECK(t.row >= 0 && static_cast<size_t>(t.row) < rows);
+    GRGAD_CHECK(t.col >= 0 && static_cast<size_t>(t.col) < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_.assign(rows + 1, 0);
+  out.col_idx_.reserve(triplets.size());
+  out.values_.reserve(triplets.size());
+  size_t i = 0;
+  while (i < triplets.size()) {
+    const int r = triplets[i].row;
+    const int c = triplets[i].col;
+    double v = 0.0;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    out.col_idx_.push_back(c);
+    out.values_.push_back(v);
+    out.row_ptr_[r + 1] = out.col_idx_.size();
+  }
+  // row_ptr entries for empty trailing rows: make cumulative.
+  for (size_t r = 1; r <= rows; ++r) {
+    out.row_ptr_[r] = std::max(out.row_ptr_[r], out.row_ptr_[r - 1]);
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Identity(size_t n) {
+  std::vector<Triplet> t;
+  t.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    t.push_back({static_cast<int>(i), static_cast<int>(i), 1.0});
+  }
+  return FromTriplets(n, n, std::move(t));
+}
+
+double SparseMatrix::At(size_t i, size_t j) const {
+  GRGAD_DCHECK(i < rows_ && j < cols_);
+  auto cols = RowCols(i);
+  auto it = std::lower_bound(cols.begin(), cols.end(), static_cast<int>(j));
+  if (it == cols.end() || *it != static_cast<int>(j)) return 0.0;
+  return values_[row_ptr_[i] + (it - cols.begin())];
+}
+
+Matrix SparseMatrix::Spmm(const Matrix& dense) const {
+  GRGAD_CHECK_EQ(cols_, dense.rows());
+  const size_t n = dense.cols();
+  Matrix out(rows_, n);
+  ParallelFor(rows_, 256, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double* orow = out.RowPtr(i);
+      for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+        const double v = values_[p];
+        const double* drow = dense.RowPtr(col_idx_[p]);
+        for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+      }
+    }
+  });
+  return out;
+}
+
+Matrix SparseMatrix::SpmmTransposeThis(const Matrix& dense) const {
+  GRGAD_CHECK_EQ(rows_, dense.rows());
+  const size_t n = dense.cols();
+  Matrix out(cols_, n);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* drow = dense.RowPtr(i);
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      const double v = values_[p];
+      double* orow = out.RowPtr(col_idx_[p]);
+      for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  std::vector<Triplet> t;
+  t.reserve(nnz());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      t.push_back({col_idx_[p], static_cast<int>(i), values_[p]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(t));
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out(i, col_idx_[p]) += values_[p];
+    }
+  }
+  return out;
+}
+
+std::vector<double> SparseMatrix::RowSums() const {
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out[i] += values_[p];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::RowNormalized() const {
+  SparseMatrix out = *this;
+  for (size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      s += std::fabs(values_[p]);
+    }
+    if (s <= 0.0) continue;
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out.values_[p] /= s;
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::MaxNormalized() const {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, std::fabs(v));
+  if (m <= 0.0) return *this;
+  return Scaled(1.0 / m);
+}
+
+SparseMatrix SparseMatrix::Pruned(double eps) const {
+  std::vector<Triplet> t;
+  t.reserve(nnz());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      if (std::fabs(values_[p]) > eps) {
+        t.push_back({static_cast<int>(i), col_idx_[p], values_[p]});
+      }
+    }
+  }
+  return FromTriplets(rows_, cols_, std::move(t));
+}
+
+SparseMatrix SparseMatrix::Scaled(double s) const {
+  SparseMatrix out = *this;
+  for (double& v : out.values_) v *= s;
+  return out;
+}
+
+bool SparseMatrix::ApproxEquals(const SparseMatrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  // Compare as dense logic without materializing: both are sorted CSR, but
+  // may differ in explicit zeros; walk rows merging indices.
+  for (size_t i = 0; i < rows_; ++i) {
+    auto ac = RowCols(i);
+    auto av = RowValues(i);
+    auto bc = other.RowCols(i);
+    auto bv = other.RowValues(i);
+    size_t pa = 0, pb = 0;
+    while (pa < ac.size() || pb < bc.size()) {
+      int ca = pa < ac.size() ? ac[pa] : INT32_MAX;
+      int cb = pb < bc.size() ? bc[pb] : INT32_MAX;
+      double va = 0.0, vb = 0.0;
+      if (ca <= cb) va = av[pa++];
+      if (cb <= ca) vb = bv[pb++];
+      if (std::fabs(va - vb) > tol) return false;
+    }
+  }
+  return true;
+}
+
+SparseMatrix MatMulSparse(const SparseMatrix& a, const SparseMatrix& b,
+                          double prune_eps) {
+  GRGAD_CHECK_EQ(a.cols(), b.rows());
+  // Gustavson's algorithm with a dense accumulator per row.
+  std::vector<Triplet> out;
+  std::vector<double> acc(b.cols(), 0.0);
+  std::vector<int> touched;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    touched.clear();
+    auto acols = a.RowCols(i);
+    auto avals = a.RowValues(i);
+    for (size_t p = 0; p < acols.size(); ++p) {
+      const int k = acols[p];
+      const double av = avals[p];
+      auto bcols = b.RowCols(k);
+      auto bvals = b.RowValues(k);
+      for (size_t q = 0; q < bcols.size(); ++q) {
+        const int j = bcols[q];
+        if (acc[j] == 0.0) touched.push_back(j);
+        acc[j] += av * bvals[q];
+      }
+    }
+    for (int j : touched) {
+      if (std::fabs(acc[j]) > prune_eps) {
+        out.push_back({static_cast<int>(i), j, acc[j]});
+      }
+      acc[j] = 0.0;
+    }
+  }
+  return SparseMatrix::FromTriplets(a.rows(), b.cols(), std::move(out));
+}
+
+}  // namespace grgad

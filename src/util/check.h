@@ -1,0 +1,47 @@
+// Invariant-checking macros for programmer errors.
+//
+// GRGAD_CHECK* abort with a diagnostic on violation; they are active in all
+// build types because silent shape/index corruption in numeric code is far
+// more expensive than the branch. GRGAD_DCHECK compiles out in NDEBUG builds
+// and is meant for hot inner loops.
+#ifndef GRGAD_UTIL_CHECK_H_
+#define GRGAD_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace grgad::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[grgad] CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace grgad::internal
+
+#define GRGAD_CHECK(cond)                                       \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::grgad::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                           \
+  } while (0)
+
+#define GRGAD_CHECK_EQ(a, b) GRGAD_CHECK((a) == (b))
+#define GRGAD_CHECK_NE(a, b) GRGAD_CHECK((a) != (b))
+#define GRGAD_CHECK_LT(a, b) GRGAD_CHECK((a) < (b))
+#define GRGAD_CHECK_LE(a, b) GRGAD_CHECK((a) <= (b))
+#define GRGAD_CHECK_GT(a, b) GRGAD_CHECK((a) > (b))
+#define GRGAD_CHECK_GE(a, b) GRGAD_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define GRGAD_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define GRGAD_DCHECK(cond) GRGAD_CHECK(cond)
+#endif
+
+#endif  // GRGAD_UTIL_CHECK_H_

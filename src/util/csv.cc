@@ -1,0 +1,78 @@
+#include "src/util/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GRGAD_CHECK(!header_.empty());
+}
+
+void CsvWriter::AppendRow(const std::vector<std::string>& row) {
+  GRGAD_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(row);
+}
+
+void CsvWriter::AppendNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v));
+  AppendRow(cells);
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvEscape(row[i]);
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  f << ToString();
+  if (!f.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace grgad

@@ -1,0 +1,50 @@
+// CSV table writer used by benches to export reproducible data series
+// (t-SNE coordinates, heatmap cells, per-method result rows).
+#ifndef GRGAD_UTIL_CSV_H_
+#define GRGAD_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace grgad {
+
+/// Accumulates rows in memory and writes an RFC4180-ish CSV file.
+///
+/// Values containing commas, quotes, or newlines are quoted and inner quotes
+/// doubled. Row width is validated against the header on Append.
+class CsvWriter {
+ public:
+  /// Creates a writer with the given column names.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row; must match the header width.
+  void AppendRow(const std::vector<std::string>& row);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void AppendNumericRow(const std::vector<double>& row);
+
+  /// Serializes header + rows.
+  std::string ToString() const;
+
+  /// Writes the table to `path`, creating parent dirs is NOT attempted.
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field (exposed for tests).
+std::string CsvEscape(const std::string& field);
+
+/// Formats a double compactly ("0.734", "1.2e-05"); exposed for tests.
+std::string FormatDouble(double v);
+
+}  // namespace grgad
+
+#endif  // GRGAD_UTIL_CSV_H_

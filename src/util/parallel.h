@@ -1,0 +1,28 @@
+// Tiny data-parallel helper for the dense-matmul hot path.
+//
+// grgad's training loops are dominated by feature-matrix products; this
+// splits a [0, n) range across a small fixed set of std::threads. The split
+// is deterministic (contiguous chunks), so parallel results are bitwise
+// independent of thread scheduling for disjoint-output loops.
+#ifndef GRGAD_UTIL_PARALLEL_H_
+#define GRGAD_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace grgad {
+
+/// Number of worker threads used by ParallelFor (>= 1). Initialized from
+/// hardware_concurrency, overridable via GRGAD_THREADS.
+int ParallelismDegree();
+
+/// Runs body(begin, end) over a contiguous partition of [0, n).
+///
+/// Falls back to a single inline call when n < min_grain or only one thread
+/// is available. `body` must write disjoint outputs per sub-range.
+void ParallelFor(size_t n, size_t min_grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+}  // namespace grgad
+
+#endif  // GRGAD_UTIL_PARALLEL_H_

@@ -1,0 +1,151 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& si : s_) si = SplitMix64Next(&sm);
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  GRGAD_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  GRGAD_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  GRGAD_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = Uniform();
+  const double u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_normal_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Poisson(double lambda) {
+  GRGAD_DCHECK(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  // Knuth inversion; fine for the small lambdas used by generators.
+  const double limit = std::exp(-lambda);
+  double prod = Uniform();
+  int k = 0;
+  while (prod > limit) {
+    prod *= Uniform();
+    ++k;
+  }
+  return k;
+}
+
+double Rng::Exponential(double rate) {
+  GRGAD_DCHECK(rate > 0.0);
+  double u = 0.0;
+  while (u == 0.0) u = Uniform();
+  return -std::log(u) / rate;
+}
+
+int Rng::PowerLaw(int k_min, int k_max, double alpha) {
+  GRGAD_CHECK(k_min >= 1 && k_max >= k_min);
+  // Inverse CDF of a bounded Pareto with exponent alpha > 1.
+  const double a = 1.0 - alpha;
+  const double lo = std::pow(static_cast<double>(k_min), a);
+  const double hi = std::pow(static_cast<double>(k_max) + 1.0, a);
+  const double u = Uniform();
+  const double x = std::pow(lo + (hi - lo) * u, 1.0 / a);
+  int k = static_cast<int>(x);
+  if (k < k_min) k = k_min;
+  if (k > k_max) k = k_max;
+  return k;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  GRGAD_CHECK_LE(k, n);
+  // Partial Fisher–Yates over an index vector; O(n) setup, fine at our sizes.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(UniformInt(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    GRGAD_DCHECK(w >= 0.0);
+    total += w;
+  }
+  GRGAD_CHECK_GT(total, 0.0);
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack.
+}
+
+}  // namespace grgad

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by benches and training loops.
+#ifndef GRGAD_UTIL_TIMER_H_
+#define GRGAD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace grgad {
+
+/// Monotonic stopwatch; starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_UTIL_TIMER_H_

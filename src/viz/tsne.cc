@@ -1,0 +1,199 @@
+#include "src/viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace grgad {
+
+namespace {
+
+/// Row-conditional probabilities with the sigma that hits the target
+/// perplexity (binary search on precision beta = 1 / (2 sigma^2)).
+void RowAffinities(const std::vector<double>& sq_dist, size_t self,
+                   double perplexity, std::vector<double>* p_row) {
+  const size_t n = sq_dist.size();
+  const double log_perp = std::log(perplexity);
+  double beta = 1.0, beta_lo = 0.0, beta_hi = HUGE_VAL;
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum_p = 0.0, sum_dp = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == self) {
+        (*p_row)[j] = 0.0;
+        continue;
+      }
+      const double pj = std::exp(-beta * sq_dist[j]);
+      (*p_row)[j] = pj;
+      sum_p += pj;
+      sum_dp += beta * sq_dist[j] * pj;
+    }
+    if (sum_p <= 0.0) {
+      beta /= 2.0;
+      continue;
+    }
+    const double entropy = std::log(sum_p) + sum_dp / sum_p;
+    const double diff = entropy - log_perp;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {  // Entropy too high -> sharpen.
+      beta_lo = beta;
+      beta = beta_hi == HUGE_VAL ? beta * 2.0 : 0.5 * (beta + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta + beta_lo);
+    }
+  }
+  double sum_p = 0.0;
+  for (double v : *p_row) sum_p += v;
+  if (sum_p > 0.0) {
+    for (double& v : *p_row) v /= sum_p;
+  }
+}
+
+}  // namespace
+
+Matrix Tsne(const Matrix& x, const TsneOptions& options) {
+  const size_t n = x.rows();
+  GRGAD_CHECK_GE(n, 4u);
+  const double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  // Pairwise squared distances in input space.
+  Matrix sq(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      const double* a = x.RowPtr(i);
+      const double* b = x.RowPtr(j);
+      for (size_t k = 0; k < x.cols(); ++k) {
+        const double d = a[k] - b[k];
+        s += d * d;
+      }
+      sq(i, j) = s;
+      sq(j, i) = s;
+    }
+  }
+  // Symmetrized joint probabilities P.
+  Matrix p(n, n);
+  std::vector<double> row(n), p_row(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) row[j] = sq(i, j);
+    RowAffinities(row, i, perplexity, &p_row);
+    for (size_t j = 0; j < n; ++j) p(i, j) = p_row[j];
+  }
+  const double inv_2n = 1.0 / (2.0 * static_cast<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = std::max((p(i, j) + p(j, i)) * inv_2n, 1e-12);
+      p(i, j) = v;
+      p(j, i) = v;
+    }
+    p(i, i) = 0.0;
+  }
+
+  // Gradient descent on the KL divergence.
+  Rng rng(options.seed);
+  const int dim = options.out_dim;
+  Matrix y = Matrix::Gaussian(n, dim, &rng, 0.0, 1e-2);
+  Matrix velocity(n, dim);
+  Matrix gains(n, dim, 1.0);  // Per-parameter adaptive gains (reference impl).
+  Matrix q(n, n);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    // Student-t affinities Q (unnormalized in `q`, normalizer in sum_q).
+    double sum_q = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      q(i, i) = 0.0;
+      for (size_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (int k = 0; k < dim; ++k) {
+          const double d = y(i, k) - y(j, k);
+          s += d * d;
+        }
+        const double t = 1.0 / (1.0 + s);
+        q(i, j) = t;
+        q(j, i) = t;
+        sum_q += 2.0 * t;
+      }
+    }
+    sum_q = std::max(sum_q, 1e-12);
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.momentum_initial
+                                : options.momentum_final;
+    for (size_t i = 0; i < n; ++i) {
+      double grad[8] = {0};  // out_dim <= 8 is plenty.
+      GRGAD_CHECK_LE(dim, 8);
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double q_ij = q(i, j) / sum_q;
+        const double coeff =
+            4.0 * (exaggeration * p(i, j) - q_ij) * q(i, j);
+        for (int k = 0; k < dim; ++k) {
+          grad[k] += coeff * (y(i, k) - y(j, k));
+        }
+      }
+      for (int k = 0; k < dim; ++k) {
+        // Gain schedule: grow when the gradient keeps pushing against the
+        // velocity, shrink when it agrees (van der Maaten's update rule);
+        // this is what keeps the optimization from diverging.
+        const bool same_sign = (grad[k] > 0) == (velocity(i, k) > 0);
+        gains(i, k) = same_sign ? std::max(gains(i, k) * 0.8, 0.01)
+                                : gains(i, k) + 0.2;
+        velocity(i, k) = momentum * velocity(i, k) -
+                         options.learning_rate * gains(i, k) * grad[k];
+        y(i, k) += velocity(i, k);
+      }
+    }
+    // Re-center.
+    const std::vector<double> center = y.ColMeans();
+    for (size_t i = 0; i < n; ++i) {
+      for (int k = 0; k < dim; ++k) y(i, k) -= center[k];
+    }
+  }
+  return y;
+}
+
+double BinarySeparationScore(const Matrix& embedded,
+                             const std::vector<int>& labels) {
+  GRGAD_CHECK_EQ(labels.size(), embedded.rows());
+  const size_t n = embedded.rows();
+  const size_t dim = embedded.cols();
+  // Class centroids.
+  std::vector<double> c0(dim, 0.0), c1(dim, 0.0);
+  size_t n0 = 0, n1 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = embedded.RowPtr(i);
+    if (labels[i] == 1) {
+      ++n1;
+      for (size_t k = 0; k < dim; ++k) c1[k] += row[k];
+    } else {
+      ++n0;
+      for (size_t k = 0; k < dim; ++k) c0[k] += row[k];
+    }
+  }
+  if (n0 == 0 || n1 == 0) return 0.0;
+  for (size_t k = 0; k < dim; ++k) {
+    c0[k] /= static_cast<double>(n0);
+    c1[k] /= static_cast<double>(n1);
+  }
+  auto dist_to = [&](const double* row, const std::vector<double>& c) {
+    double s = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      const double d = row[k] - c[k];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  };
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = embedded.RowPtr(i);
+    const double a = dist_to(row, labels[i] == 1 ? c1 : c0);
+    const double b = dist_to(row, labels[i] == 1 ? c0 : c1);
+    total += (b - a) / std::max({a, b, 1e-12});
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace grgad

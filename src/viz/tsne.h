@@ -1,0 +1,39 @@
+// Exact t-SNE (van der Maaten & Hinton, 2008) for the Fig. 7 embedding
+// visualizations. O(n^2) per iteration — appropriate for the few hundred
+// candidate-group embeddings the paper plots.
+#ifndef GRGAD_VIZ_TSNE_H_
+#define GRGAD_VIZ_TSNE_H_
+
+#include "src/tensor/matrix.h"
+
+namespace grgad {
+
+/// t-SNE hyperparameters (defaults follow the reference implementation).
+struct TsneOptions {
+  int out_dim = 2;
+  double perplexity = 20.0;  ///< Clamped to (n-1)/3.
+  int iterations = 400;
+  /// Conservative default; this exact-gradient implementation (no gain
+  /// warm-up from a 1e-4-scale init) diverges above ~50 on small inputs.
+  double learning_rate = 10.0;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 80;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  int momentum_switch_iter = 120;
+  uint64_t seed = 11;
+};
+
+/// Embeds the rows of `x` into out_dim dimensions.
+Matrix Tsne(const Matrix& x, const TsneOptions& options = {});
+
+/// Mean silhouette-style separation of a binary labeling of embedded points
+/// (mean over points of (b - a) / max(a, b) with centroid distances);
+/// in [-1, 1], higher = better separated. Used to assert Fig. 7's clustering
+/// quality without eyeballing a plot.
+double BinarySeparationScore(const Matrix& embedded,
+                             const std::vector<int>& labels);
+
+}  // namespace grgad
+
+#endif  // GRGAD_VIZ_TSNE_H_

@@ -1,0 +1,209 @@
+// Graph algorithms: BFS distances/trees, shortest paths (BFS + Bellman-Ford
+// agreement on unit weights), connected components, subset components,
+// cycle enumeration, and local structure statistics.
+#include "src/graph/algorithms.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace grgad {
+namespace {
+
+/// 0-1-2-3-4 path plus a 5-6-7 triangle island... (7 total wired below).
+Graph PathAndTriangle() {
+  GraphBuilder b(8);
+  for (int i = 0; i + 1 < 5; ++i) b.AddEdge(i, i + 1);
+  b.AddEdge(5, 6);
+  b.AddEdge(6, 7);
+  b.AddEdge(7, 5);
+  return b.Build();
+}
+
+Graph Ring(int n) {
+  GraphBuilder b(n);
+  for (int i = 0; i < n; ++i) b.AddEdge(i, (i + 1) % n);
+  return b.Build();
+}
+
+TEST(AlgorithmsTest, BfsDistances) {
+  Graph g = PathAndTriangle();
+  const auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_EQ(dist[5], kUnreachable);
+  const auto bounded = BfsDistances(g, 0, 2);
+  EXPECT_EQ(bounded[2], 2);
+  EXPECT_EQ(bounded[3], kUnreachable);
+}
+
+TEST(AlgorithmsTest, ShortestPathOnPathGraph) {
+  Graph g = PathAndTriangle();
+  EXPECT_EQ(ShortestPath(g, 0, 4), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ShortestPath(g, 2, 2), (std::vector<int>{2}));
+  EXPECT_TRUE(ShortestPath(g, 0, 5).empty());
+}
+
+TEST(AlgorithmsTest, ShortestPathPicksShortcut) {
+  Graph g = Ring(6);
+  const auto path = ShortestPath(g, 0, 2);
+  EXPECT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 2);
+}
+
+TEST(AlgorithmsTest, BellmanFordMatchesBfsOnUnitWeights) {
+  Graph g = Ring(7);
+  const std::vector<double> unit(g.Edges().size(), 1.0);
+  std::vector<double> dist;
+  std::vector<int> parent;
+  ASSERT_TRUE(BellmanFord(g, 0, unit, &dist, &parent));
+  const auto bfs = BfsDistances(g, 0);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(dist[v], static_cast<double>(bfs[v]));
+  }
+  const auto path = BellmanFordPath(g, 0, 3, unit);
+  EXPECT_EQ(path.size(), 4u);
+}
+
+TEST(AlgorithmsTest, BellmanFordRespectsWeights) {
+  // 0-1 (w=10), 0-2 (w=1), 1-2 (w=1): best 0->1 goes through 2.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  // Edges() order is sorted: (0,1), (0,2), (1,2).
+  std::vector<double> w = {10.0, 1.0, 1.0};
+  const auto path = BellmanFordPath(g, 0, 1, w);
+  EXPECT_EQ(path, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(AlgorithmsTest, BellmanFordDetectsNegativeCycle) {
+  Graph g = Ring(3);
+  std::vector<double> w = {-1.0, -1.0, -1.0};
+  std::vector<double> dist;
+  std::vector<int> parent;
+  EXPECT_FALSE(BellmanFord(g, 0, w, &dist, &parent));
+}
+
+TEST(AlgorithmsTest, BfsTreeStructure) {
+  Graph g = PathAndTriangle();
+  const BfsTree tree = BuildBfsTree(g, 1, 2);
+  EXPECT_EQ(tree.parent[1], 1);
+  EXPECT_EQ(tree.depth[1], 0);
+  EXPECT_EQ(tree.parent[0], 1);
+  EXPECT_EQ(tree.depth[3], 2);
+  EXPECT_EQ(tree.depth[4], kUnreachable);  // Beyond depth 2.
+  EXPECT_EQ(tree.order.front(), 1);
+  // Order is by non-decreasing depth.
+  for (size_t i = 1; i < tree.order.size(); ++i) {
+    EXPECT_LE(tree.depth[tree.order[i - 1]], tree.depth[tree.order[i]]);
+  }
+}
+
+TEST(AlgorithmsTest, ConnectedComponentsLabels) {
+  Graph g = PathAndTriangle();
+  const auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[4]);
+  EXPECT_EQ(comp[5], comp[7]);
+  EXPECT_NE(comp[0], comp[5]);
+  const int max_label = *std::max_element(comp.begin(), comp.end());
+  EXPECT_EQ(max_label, 1);
+}
+
+TEST(AlgorithmsTest, ComponentsOfSubset) {
+  Graph g = PathAndTriangle();
+  // {0,1} contiguous; {3} isolated from them (2 missing); {5,7} joined.
+  const auto groups = ComponentsOfSubset(g, {0, 1, 3, 5, 7});
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<int>{3}));
+  EXPECT_EQ(groups[2], (std::vector<int>{5, 7}));
+}
+
+TEST(AlgorithmsTest, KHopNeighborhood) {
+  Graph g = PathAndTriangle();
+  EXPECT_EQ(KHopNeighborhood(g, 2, 1), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(KHopNeighborhood(g, 2, 2), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(AlgorithmsTest, CyclesThroughFindsRing) {
+  Graph g = Ring(5);
+  const auto cycles = CyclesThrough(g, 0, 8);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 5u);
+  EXPECT_EQ(cycles[0][0], 0);
+  std::set<int> members(cycles[0].begin(), cycles[0].end());
+  EXPECT_EQ(members.size(), 5u);
+}
+
+TEST(AlgorithmsTest, CyclesThroughRespectsMaxLen) {
+  Graph g = Ring(9);
+  EXPECT_TRUE(CyclesThrough(g, 0, 8).empty());
+  EXPECT_EQ(CyclesThrough(g, 0, 9).size(), 1u);
+}
+
+TEST(AlgorithmsTest, CyclesOnAcyclicGraphEmpty) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  const auto cycles = CyclesThrough(b.Build(), 1, 8);
+  EXPECT_TRUE(cycles.empty());
+}
+
+TEST(AlgorithmsTest, TwoTrianglesSharingNode) {
+  // Two triangles sharing node 0: 0-1-2 and 0-3-4.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(0, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 0);
+  const auto cycles = CyclesThrough(b.Build(), 0, 8);
+  EXPECT_EQ(cycles.size(), 2u);
+}
+
+TEST(AlgorithmsTest, ClusteringCoefficient) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  EXPECT_NEAR(ClusteringCoefficient(g, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g, 3), 0.0);
+  EXPECT_DOUBLE_EQ(ClusteringCoefficient(g, 1), 1.0);
+}
+
+TEST(AlgorithmsTest, MeanNeighborDegree) {
+  Graph g = PathAndTriangle();
+  EXPECT_DOUBLE_EQ(MeanNeighborDegree(g, 0), 2.0);  // Node 1 has degree 2.
+  EXPECT_DOUBLE_EQ(MeanNeighborDegree(g, 2), 2.0);
+  GraphBuilder b(1);
+  EXPECT_DOUBLE_EQ(MeanNeighborDegree(b.Build(), 0), 0.0);
+}
+
+// Property: on rings of odd size n, the shortest path between antipodal-ish
+// nodes has ceil(n/2) edges at most.
+class RingPathPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingPathPropertyTest, PathLengthBounded) {
+  const int n = GetParam();
+  Graph g = Ring(n);
+  for (int target = 1; target < n; ++target) {
+    const auto path = ShortestPath(g, 0, target);
+    ASSERT_FALSE(path.empty());
+    const int hops = static_cast<int>(path.size()) - 1;
+    EXPECT_EQ(hops, std::min(target, n - target));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, RingPathPropertyTest,
+                         ::testing::Values(3, 4, 5, 8, 11));
+
+}  // namespace
+}  // namespace grgad

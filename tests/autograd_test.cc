@@ -1,0 +1,334 @@
+// Gradient correctness of every autograd op, checked against central finite
+// differences, plus tape-mechanics tests (accumulation, reuse, topology).
+#include "src/nn/autograd.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace grgad {
+namespace {
+
+/// Central-difference gradient of scalar_fn w.r.t. entry (i, j) of `at`.
+double NumericalGrad(const std::function<double(const Matrix&)>& scalar_fn,
+                     Matrix at, size_t i, size_t j, double h = 1e-6) {
+  at(i, j) += h;
+  const double up = scalar_fn(at);
+  at(i, j) -= 2 * h;
+  const double down = scalar_fn(at);
+  return (up - down) / (2 * h);
+}
+
+/// Checks autograd gradient of `builder` (maps leaf Var -> scalar Var)
+/// against finite differences at every coordinate of `x0`.
+void CheckGradient(const std::function<Var(const Var&)>& builder,
+                   const Matrix& x0, double tol = 1e-4) {
+  Var leaf(x0, /*requires_grad=*/true);
+  Var loss = builder(leaf);
+  ASSERT_EQ(loss.rows(), 1u);
+  ASSERT_EQ(loss.cols(), 1u);
+  loss.Backward();
+  const Matrix& analytic = leaf.grad();
+  ASSERT_FALSE(analytic.empty());
+  auto scalar_fn = [&builder](const Matrix& m) {
+    Var v(m, /*requires_grad=*/false);
+    return builder(v).item();
+  };
+  for (size_t i = 0; i < x0.rows(); ++i) {
+    for (size_t j = 0; j < x0.cols(); ++j) {
+      const double numeric = NumericalGrad(scalar_fn, x0, i, j);
+      EXPECT_NEAR(analytic(i, j), numeric, tol)
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+Matrix RandomMatrix(size_t r, size_t c, uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  return Matrix::Gaussian(r, c, &rng, 0.0, scale);
+}
+
+TEST(AutogradBasics, LeafProperties) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Var v(m, /*requires_grad=*/true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.rows(), 2u);
+  EXPECT_EQ(v.cols(), 2u);
+  EXPECT_TRUE(v.grad().empty());
+  Var c2(m);
+  EXPECT_FALSE(c2.requires_grad());
+}
+
+TEST(AutogradBasics, ItemRequiresScalar) {
+  Var v(Matrix(1, 1, 3.5));
+  EXPECT_DOUBLE_EQ(v.item(), 3.5);
+}
+
+TEST(AutogradBasics, BackwardSeedsWithOne) {
+  Var v(Matrix(1, 1, 2.0), true);
+  Var loss = Scale(v, 3.0);
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(v.grad()(0, 0), 3.0);
+}
+
+TEST(AutogradBasics, GradAccumulatesAcrossBackwardCalls) {
+  Var v(Matrix(1, 1, 2.0), true);
+  for (int rep = 0; rep < 3; ++rep) {
+    Var loss = Scale(v, 1.0);
+    loss.Backward();
+  }
+  EXPECT_DOUBLE_EQ(v.grad()(0, 0), 3.0);
+  v.ZeroGrad();
+  EXPECT_TRUE(v.grad().empty());
+}
+
+TEST(AutogradBasics, DiamondGraphAccumulates) {
+  // loss = sum(x) + sum(x) should give gradient 2 everywhere.
+  Var x(Matrix(2, 2, 1.0), true);
+  Var loss = Add(SumAll(x), SumAll(x));
+  loss.Backward();
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) EXPECT_DOUBLE_EQ(x.grad()(i, j), 2.0);
+  }
+}
+
+TEST(AutogradBasics, ConstantLeafGetsNoGrad) {
+  Var c(Matrix(2, 2, 1.0), false);
+  Var x(Matrix(2, 2, 1.0), true);
+  Var loss = SumAll(Mul(c, x));
+  loss.Backward();
+  EXPECT_TRUE(c.grad().empty());
+  EXPECT_FALSE(x.grad().empty());
+}
+
+TEST(AutogradGradients, MatMulLeft) {
+  Matrix b = RandomMatrix(3, 2, 7);
+  CheckGradient(
+      [&b](const Var& x) {
+        return SumSquares(MatMul(x, Var(b)));
+      },
+      RandomMatrix(4, 3, 1));
+}
+
+TEST(AutogradGradients, MatMulRight) {
+  Matrix a = RandomMatrix(4, 3, 8);
+  CheckGradient(
+      [&a](const Var& x) {
+        return SumSquares(MatMul(Var(a), x));
+      },
+      RandomMatrix(3, 2, 2));
+}
+
+TEST(AutogradGradients, Spmm) {
+  auto s = std::make_shared<const SparseMatrix>(SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 2.0}, {1, 0, -1.0}, {2, 2, 0.5}, {0, 0, 1.0}}));
+  CheckGradient(
+      [&s](const Var& x) { return SumSquares(Spmm(s, x)); },
+      RandomMatrix(3, 2, 3));
+}
+
+TEST(AutogradGradients, AddSubMul) {
+  Matrix other = RandomMatrix(3, 3, 9);
+  CheckGradient(
+      [&other](const Var& x) {
+        Var o(other);
+        return SumSquares(Mul(Add(x, o), Sub(x, o)));
+      },
+      RandomMatrix(3, 3, 4));
+}
+
+TEST(AutogradGradients, ScaleAndBias) {
+  Matrix bias = RandomMatrix(1, 3, 10);
+  CheckGradient(
+      [&bias](const Var& x) {
+        return SumSquares(AddRowBroadcast(Scale(x, -1.7), Var(bias)));
+      },
+      RandomMatrix(4, 3, 5));
+}
+
+TEST(AutogradGradients, BiasItself) {
+  Matrix a = RandomMatrix(4, 3, 11);
+  CheckGradient(
+      [&a](const Var& b) {
+        return SumSquares(AddRowBroadcast(Var(a), b));
+      },
+      RandomMatrix(1, 3, 6));
+}
+
+TEST(AutogradGradients, Relu) {
+  CheckGradient([](const Var& x) { return SumSquares(Relu(x)); },
+                RandomMatrix(3, 4, 12));
+}
+
+TEST(AutogradGradients, Sigmoid) {
+  CheckGradient([](const Var& x) { return SumSquares(Sigmoid(x)); },
+                RandomMatrix(3, 3, 13));
+}
+
+TEST(AutogradGradients, TanhOp) {
+  CheckGradient([](const Var& x) { return SumSquares(Tanh(x)); },
+                RandomMatrix(3, 3, 14));
+}
+
+TEST(AutogradGradients, ExpLog) {
+  CheckGradient(
+      [](const Var& x) { return SumAll(Log(Exp(x), 0.0)); },
+      RandomMatrix(2, 3, 15, 0.3));
+}
+
+TEST(AutogradGradients, TransposeOp) {
+  Matrix a = RandomMatrix(2, 3, 16);
+  CheckGradient(
+      [&a](const Var& x) {
+        return SumSquares(MatMul(Var(a), Transpose(x)));
+      },
+      RandomMatrix(2, 3, 17));
+}
+
+TEST(AutogradGradients, MeanAllAndSumAll) {
+  CheckGradient([](const Var& x) { return MeanAll(Mul(x, x)); },
+                RandomMatrix(3, 5, 18));
+}
+
+TEST(AutogradGradients, MseLoss) {
+  Matrix target = RandomMatrix(3, 3, 19);
+  CheckGradient(
+      [&target](const Var& x) { return MseLoss(Sigmoid(x), target); },
+      RandomMatrix(3, 3, 20));
+}
+
+TEST(AutogradGradients, WeightedMseLoss) {
+  Matrix target = RandomMatrix(3, 3, 21);
+  Matrix weights = RandomMatrix(3, 3, 22).Map(
+      [](double v) { return std::fabs(v) + 0.1; });
+  CheckGradient(
+      [&](const Var& x) { return WeightedMseLoss(x, target, weights); },
+      RandomMatrix(3, 3, 23));
+}
+
+TEST(AutogradGradients, GatherRowsWithDuplicates) {
+  CheckGradient(
+      [](const Var& x) {
+        return SumSquares(GatherRows(x, {0, 2, 2, 1}));
+      },
+      RandomMatrix(3, 3, 24));
+}
+
+TEST(AutogradGradients, MeanRowsReadout) {
+  CheckGradient([](const Var& x) { return SumSquares(MeanRows(x)); },
+                RandomMatrix(4, 3, 25));
+}
+
+TEST(AutogradGradients, StackRowsSplitsGradient) {
+  Matrix m0 = RandomMatrix(1, 3, 26);
+  CheckGradient(
+      [&m0](const Var& x) {
+        std::vector<Var> rows = {Var(m0), x, x};
+        return SumSquares(StackRows(rows));
+      },
+      RandomMatrix(1, 3, 27));
+}
+
+TEST(AutogradGradients, ConcatColsBothSides) {
+  Matrix other = RandomMatrix(3, 2, 28);
+  CheckGradient(
+      [&other](const Var& x) {
+        return SumSquares(ConcatCols(x, Var(other)));
+      },
+      RandomMatrix(3, 2, 29));
+  CheckGradient(
+      [&other](const Var& x) {
+        return SumSquares(ConcatCols(Var(other), x));
+      },
+      RandomMatrix(3, 4, 30));
+}
+
+TEST(AutogradGradients, ReshapeOp) {
+  CheckGradient(
+      [](const Var& x) {
+        return SumSquares(Reshape(x, 2, 6));
+      },
+      RandomMatrix(3, 4, 31));
+}
+
+TEST(AutogradGradients, PairInnerProduct) {
+  std::vector<std::pair<int, int>> pairs = {{0, 1}, {1, 2}, {0, 3}, {2, 2}};
+  CheckGradient(
+      [&pairs](const Var& z) {
+        return SumSquares(Sigmoid(PairInnerProduct(z, pairs)));
+      },
+      RandomMatrix(4, 3, 32));
+}
+
+TEST(AutogradGradients, DiagMeanOp) {
+  CheckGradient([](const Var& x) { return DiagMean(Mul(x, x)); },
+                RandomMatrix(4, 4, 33));
+}
+
+TEST(AutogradGradients, MaskedLogSumExp) {
+  std::vector<uint8_t> mask = {1, 0, 1, 1, 0, 1, 1, 0, 1};
+  CheckGradient(
+      [&mask](const Var& x) { return MaskedLogSumExp(x, mask); },
+      RandomMatrix(3, 3, 34));
+}
+
+TEST(AutogradGradients, MaskedLogSumExpIsStableForLargeValues) {
+  Matrix big(1, 3);
+  big(0, 0) = 500.0;
+  big(0, 1) = 501.0;
+  big(0, 2) = 499.0;
+  Var v(big, true);
+  Var out = MaskedLogSumExp(v, {1, 1, 1});
+  EXPECT_TRUE(std::isfinite(out.item()));
+  EXPECT_NEAR(out.item(), 501.0 + std::log(std::exp(-1.0) + 1 +
+                                            std::exp(-2.0)),
+              1e-9);
+  out.Backward();
+  double grad_sum = 0.0;
+  for (size_t j = 0; j < 3; ++j) grad_sum += v.grad()(0, j);
+  EXPECT_NEAR(grad_sum, 1.0, 1e-9);  // Softmax weights sum to 1.
+}
+
+TEST(AutogradGradients, ComposedGcnLikeNetwork) {
+  // A miniature GCN+readout+estimator stack, end to end.
+  auto s = std::make_shared<const SparseMatrix>(SparseMatrix::FromTriplets(
+      4, 4, {{0, 1, 0.5}, {1, 0, 0.5}, {2, 3, 0.7}, {3, 2, 0.7},
+             {0, 0, 0.5}, {1, 1, 0.5}, {2, 2, 0.3}, {3, 3, 0.3}}));
+  Matrix x = RandomMatrix(4, 3, 35);
+  CheckGradient(
+      [&](const Var& w) {
+        Var h = Relu(Spmm(s, MatMul(Var(x), w)));
+        Var pooled = MeanRows(h);
+        return SumSquares(pooled);
+      },
+      RandomMatrix(3, 2, 36), 2e-4);
+}
+
+// Property sweep: SumSquares gradient == 2x for random shapes.
+class SumSquaresParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SumSquaresParamTest, GradientIsTwiceInput) {
+  const auto [r, c] = GetParam();
+  Matrix m = RandomMatrix(r, c, 100 + r * 13 + c);
+  Var v(m, true);
+  SumSquares(v).Backward();
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) {
+      EXPECT_NEAR(v.grad()(i, j), 2.0 * m(i, j), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SumSquaresParamTest,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(1, 7),
+                      std::make_pair(5, 1), std::make_pair(3, 4),
+                      std::make_pair(8, 8)));
+
+}  // namespace
+}  // namespace grgad

@@ -1,0 +1,143 @@
+// The evaluation protocol in depth: τ selection (mean + z·std), Jaccard
+// matching strictness, CR monotonicity under the protocol, and stability
+// across prediction orderings.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/evaluation.h"
+#include "src/data/example_graph.h"
+#include "src/util/rng.h"
+
+namespace grgad {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.name = "tiny";
+  GraphBuilder b(20);
+  for (int i = 0; i + 1 < 20; ++i) b.AddEdge(i, i + 1);
+  d.graph = b.Build();
+  d.anomaly_groups = {{2, 3, 4, 5}, {10, 11, 12}};
+  d.group_patterns = {TopologyPattern::kPath, TopologyPattern::kPath};
+  return d;
+}
+
+TEST(EvaluationProtocolTest, TauSelectsHighScorers) {
+  const Dataset d = TinyDataset();
+  std::vector<ScoredGroup> preds = {
+      {{2, 3, 4, 5}, 10.0},   // True group, high score.
+      {{10, 11, 12}, 9.0},    // True group, high score.
+      {{0, 1}, 1.0},          // Distractors, low scores.
+      {{6, 7}, 1.1},
+      {{14, 15}, 0.9},
+      {{16, 17}, 1.2},
+  };
+  const GroupEvaluation eval = EvaluateGroups(d, preds);
+  EXPECT_EQ(eval.num_predicted_anomalous, 2);
+  EXPECT_DOUBLE_EQ(eval.cr, 1.0);
+  EXPECT_DOUBLE_EQ(eval.auc, 1.0);
+  EXPECT_DOUBLE_EQ(eval.f1, 1.0);
+  EXPECT_NEAR(eval.avg_predicted_size, 3.5, 1e-12);
+}
+
+TEST(EvaluationProtocolTest, ZThresholdControlsSelectivity) {
+  const Dataset d = TinyDataset();
+  std::vector<ScoredGroup> preds;
+  // Linearly spread scores over 10 groups.
+  for (int i = 0; i < 10; ++i) {
+    preds.push_back({{i, i + 1, i + 2}, static_cast<double>(i)});
+  }
+  EvaluationOptions loose;
+  loose.z_threshold = 0.0;  // Above the mean: ~half the groups.
+  EvaluationOptions strict;
+  strict.z_threshold = 1.4;
+  const GroupEvaluation eval_loose = EvaluateGroups(d, preds, loose);
+  const GroupEvaluation eval_strict = EvaluateGroups(d, preds, strict);
+  EXPECT_GT(eval_loose.num_predicted_anomalous,
+            eval_strict.num_predicted_anomalous);
+  EXPECT_GT(eval_strict.num_predicted_anomalous, 0);
+}
+
+TEST(EvaluationProtocolTest, MatchJaccardStrictness) {
+  const Dataset d = TinyDataset();
+  // Candidate overlaps gt {2,3,4,5} with J = 3/5.
+  std::vector<ScoredGroup> preds = {{{3, 4, 5, 6}, 5.0}, {{0, 1}, 0.1},
+                                    {{14, 15}, 0.2}};
+  EvaluationOptions loose;
+  loose.match_jaccard = 0.5;
+  EvaluationOptions strict;
+  strict.match_jaccard = 0.9;
+  EXPECT_GT(EvaluateGroups(d, preds, loose).f1, 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateGroups(d, preds, strict).f1, 0.0);
+}
+
+TEST(EvaluationProtocolTest, OrderInvariance) {
+  const Dataset d = TinyDataset();
+  std::vector<ScoredGroup> preds = {
+      {{2, 3, 4, 5}, 3.0}, {{10, 11, 12}, 2.5}, {{0, 1, 2}, 0.5},
+      {{7, 8, 9}, 0.4},    {{15, 16}, 0.6},
+  };
+  const GroupEvaluation a = EvaluateGroups(d, preds);
+  Rng rng(3);
+  rng.Shuffle(&preds);
+  const GroupEvaluation b = EvaluateGroups(d, preds);
+  EXPECT_DOUBLE_EQ(a.cr, b.cr);
+  EXPECT_DOUBLE_EQ(a.f1, b.f1);
+  EXPECT_DOUBLE_EQ(a.auc, b.auc);
+  EXPECT_EQ(a.num_predicted_anomalous, b.num_predicted_anomalous);
+}
+
+TEST(EvaluationProtocolTest, ConstantScoresFallBackToAllCandidates) {
+  const Dataset d = TinyDataset();
+  std::vector<ScoredGroup> preds = {
+      {{2, 3, 4, 5}, 1.0}, {{10, 11, 12}, 1.0}, {{0, 1, 2}, 1.0}};
+  const GroupEvaluation eval = EvaluateGroups(d, preds);
+  // mean + z*0 std = 1.0, nothing strictly above -> fallback to all.
+  EXPECT_EQ(eval.num_predicted_anomalous, 0);
+  EXPECT_DOUBLE_EQ(eval.cr, 1.0);  // Both gt groups present in the set.
+}
+
+TEST(EvaluationProtocolTest, CrMonotoneInPredictedSetQuality) {
+  const Dataset d = TinyDataset();
+  std::vector<ScoredGroup> weak = {{{2, 3}, 2.0}, {{0, 1}, 0.1},
+                                   {{14, 15}, 0.1}};
+  std::vector<ScoredGroup> strong = weak;
+  strong[0] = {{2, 3, 4, 5}, 2.0};  // Exact group at the same score.
+  EXPECT_GE(EvaluateGroups(d, strong).cr, EvaluateGroups(d, weak).cr);
+}
+
+// Parameterized: the protocol never produces out-of-range metrics for
+// random prediction sets.
+class ProtocolFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolFuzzTest, MetricsAlwaysInRange) {
+  const Dataset d = GenExampleGraph({});
+  Rng rng(500 + GetParam());
+  std::vector<ScoredGroup> preds;
+  const int m = 2 + static_cast<int>(rng.UniformInt(uint64_t{40}));
+  for (int i = 0; i < m; ++i) {
+    std::vector<int> nodes;
+    const int size = 1 + static_cast<int>(rng.UniformInt(uint64_t{12}));
+    for (int k = 0; k < size; ++k) {
+      nodes.push_back(static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(d.graph.num_nodes()))));
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    preds.push_back({std::move(nodes), rng.Normal()});
+  }
+  const GroupEvaluation eval = EvaluateGroups(d, preds);
+  EXPECT_GE(eval.cr, 0.0);
+  EXPECT_LE(eval.cr, 1.0);
+  EXPECT_GE(eval.f1, 0.0);
+  EXPECT_LE(eval.f1, 1.0);
+  EXPECT_GE(eval.auc, 0.0);
+  EXPECT_LE(eval.auc, 1.0);
+  EXPECT_GE(eval.avg_predicted_size, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, ProtocolFuzzTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace grgad

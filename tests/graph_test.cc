@@ -1,0 +1,128 @@
+// Graph/GraphBuilder: CSR invariants, dedup, induced subgraphs with
+// mapping composition, and Validate().
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace grgad {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1-2 triangle, 2-3 tail.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(GraphBuilderTest, DedupsAndDropsSelfLoops) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // Duplicate (reversed).
+  b.AddEdge(0, 1);  // Duplicate.
+  b.AddEdge(2, 2);  // Self-loop.
+  EXPECT_EQ(b.num_edges(), 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphBuilderTest, HasEdgeQueries) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 2);
+  EXPECT_TRUE(b.HasEdge(0, 2));
+  EXPECT_TRUE(b.HasEdge(2, 0));
+  EXPECT_FALSE(b.HasEdge(0, 1));
+  EXPECT_FALSE(b.HasEdge(1, 1));
+}
+
+TEST(GraphTest, NeighborsSortedAndSymmetric) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  auto nb = g.Neighbors(2);
+  EXPECT_EQ(std::vector<int>(nb.begin(), nb.end()),
+            (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(g.Degree(2), 3);
+  EXPECT_EQ(g.Degree(3), 1);
+  EXPECT_TRUE(g.HasEdge(3, 2));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+  EXPECT_FALSE(g.HasEdge(-1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, EdgesListsEachOnce) {
+  Graph g = TriangleWithTail();
+  const auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphTest, AttributesAttachAndValidate) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Matrix x = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Graph g = b.Build(x);
+  EXPECT_TRUE(g.has_attributes());
+  EXPECT_EQ(g.attr_dim(), 2u);
+  EXPECT_DOUBLE_EQ(g.attributes()(1, 0), 3.0);
+  Matrix y = Matrix::FromRows({{9.0, 9.0}, {8.0, 8.0}});
+  g.SetAttributes(y);
+  EXPECT_DOUBLE_EQ(g.attributes()(0, 0), 9.0);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, InducedSubgraphBasics) {
+  Graph g = TriangleWithTail();
+  Matrix x(4, 1);
+  for (int i = 0; i < 4; ++i) x(i, 0) = i * 10.0;
+  g.SetAttributes(x);
+  Graph sub = g.InducedSubgraph({2, 0, 1});
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_edges(), 3);  // The triangle.
+  EXPECT_EQ(sub.mapping(), (std::vector<int>{2, 0, 1}));
+  EXPECT_DOUBLE_EQ(sub.attributes()(0, 0), 20.0);
+  EXPECT_TRUE(sub.Validate().ok());
+}
+
+TEST(GraphTest, InducedSubgraphDedupsInput) {
+  Graph g = TriangleWithTail();
+  Graph sub = g.InducedSubgraph({3, 3, 2, 3});
+  EXPECT_EQ(sub.num_nodes(), 2);
+  EXPECT_EQ(sub.num_edges(), 1);
+  EXPECT_EQ(sub.mapping(), (std::vector<int>{3, 2}));
+}
+
+TEST(GraphTest, NestedInducedSubgraphComposesMapping) {
+  Graph g = TriangleWithTail();
+  Graph sub = g.InducedSubgraph({1, 2, 3});  // local: 0->1, 1->2, 2->3
+  Graph subsub = sub.InducedSubgraph({1, 2});
+  EXPECT_EQ(subsub.mapping(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(subsub.num_edges(), 1);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = GraphBuilder(0).Build();
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.Validate().ok());
+  Graph single = GraphBuilder(1).Build();
+  EXPECT_EQ(single.Degree(0), 0);
+  EXPECT_TRUE(single.Neighbors(0).empty());
+}
+
+TEST(GraphTest, DisconnectedNodesSurvive) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 4);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.Degree(2), 0);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+}  // namespace
+}  // namespace grgad

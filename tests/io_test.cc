@@ -1,0 +1,119 @@
+// Dataset serialization round-trips and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/data/io.h"
+#include "src/data/registry.h"
+
+namespace grgad {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  ASSERT_TRUE(f.is_open());
+  f << content;
+}
+
+TEST(IoTest, EdgeListRoundTrip) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 4);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  const std::string path = TempPath("edges.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), 5);
+  EXPECT_EQ(loaded.value().Edges(), g.Edges());
+}
+
+TEST(IoTest, EdgeListExplicitNodeCount) {
+  WriteFileOrDie(TempPath("tiny.edges"), "0 1\n");
+  auto loaded = LoadEdgeList(TempPath("tiny.edges"), 10);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), 10);
+  auto conflict = LoadEdgeList(TempPath("tiny.edges"), 1);
+  EXPECT_FALSE(conflict.ok());
+}
+
+TEST(IoTest, EdgeListRejectsGarbage) {
+  WriteFileOrDie(TempPath("bad.edges"), "0 x\n");
+  EXPECT_FALSE(LoadEdgeList(TempPath("bad.edges")).ok());
+  WriteFileOrDie(TempPath("neg.edges"), "-1 2\n");
+  EXPECT_FALSE(LoadEdgeList(TempPath("neg.edges")).ok());
+  EXPECT_FALSE(LoadEdgeList("/no/such/file.edges").ok());
+}
+
+TEST(IoTest, AttributesRoundTrip) {
+  Matrix x = Matrix::FromRows({{1.5, -2.0}, {0.0, 3.25}});
+  const std::string path = TempPath("attrs.csv");
+  ASSERT_TRUE(SaveAttributes(x, path).ok());
+  auto loaded = LoadAttributes(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().ApproxEquals(x, 1e-9));
+}
+
+TEST(IoTest, AttributesRejectRaggedRows) {
+  WriteFileOrDie(TempPath("ragged.csv"), "1,2\n3\n");
+  EXPECT_FALSE(LoadAttributes(TempPath("ragged.csv")).ok());
+  WriteFileOrDie(TempPath("nonnum.csv"), "1,abc\n");
+  EXPECT_FALSE(LoadAttributes(TempPath("nonnum.csv")).ok());
+}
+
+TEST(IoTest, GroupsRoundTrip) {
+  Dataset d;
+  d.name = "t";
+  GraphBuilder b(10);
+  b.AddEdge(0, 1);
+  d.graph = b.Build();
+  d.anomaly_groups = {{1, 2, 3}, {5, 7}};
+  d.group_patterns = {TopologyPattern::kPath, TopologyPattern::kCycle};
+  const std::string path = TempPath("groups.txt");
+  ASSERT_TRUE(SaveGroups(d, path).ok());
+  std::vector<std::vector<int>> groups;
+  std::vector<TopologyPattern> patterns;
+  ASSERT_TRUE(LoadGroups(path, &groups, &patterns).ok());
+  EXPECT_EQ(groups, d.anomaly_groups);
+  EXPECT_EQ(patterns, d.group_patterns);
+}
+
+TEST(IoTest, GroupsRejectBadLines) {
+  std::vector<std::vector<int>> groups;
+  std::vector<TopologyPattern> patterns;
+  WriteFileOrDie(TempPath("nocolon.groups"), "path 1 2 3\n");
+  EXPECT_FALSE(LoadGroups(TempPath("nocolon.groups"), &groups,
+                          &patterns).ok());
+  WriteFileOrDie(TempPath("badpat.groups"), "star: 1 2 3\n");
+  EXPECT_FALSE(LoadGroups(TempPath("badpat.groups"), &groups,
+                          &patterns).ok());
+  WriteFileOrDie(TempPath("empty.groups"), "path:\n");
+  EXPECT_FALSE(LoadGroups(TempPath("empty.groups"), &groups,
+                          &patterns).ok());
+}
+
+TEST(IoTest, FullDatasetRoundTrip) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  options.attr_dim = 8;
+  auto gen = MakeDataset("simml", options);
+  ASSERT_TRUE(gen.ok());
+  const std::string prefix = TempPath("simml_rt");
+  ASSERT_TRUE(SaveDataset(gen.value(), prefix).ok());
+  auto loaded = LoadDataset(prefix, "simml");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().graph.num_nodes(), gen.value().graph.num_nodes());
+  EXPECT_EQ(loaded.value().graph.Edges(), gen.value().graph.Edges());
+  EXPECT_TRUE(loaded.value().graph.attributes().ApproxEquals(
+      gen.value().graph.attributes(), 1e-8));
+  EXPECT_EQ(loaded.value().anomaly_groups, gen.value().anomaly_groups);
+  EXPECT_EQ(loaded.value().group_patterns, gen.value().group_patterns);
+}
+
+}  // namespace
+}  // namespace grgad

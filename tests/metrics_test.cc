@@ -1,0 +1,163 @@
+// Classification metrics (F1/AUC/thresholding) and the paper's Completeness
+// Ratio (Eqn. 24-25), including its boundary behaviour.
+#include <gtest/gtest.h>
+
+#include "src/metrics/classification.h"
+#include "src/metrics/completeness.h"
+
+namespace grgad {
+namespace {
+
+TEST(ClassificationTest, ConfusionCounts) {
+  const ConfusionCounts c =
+      Confusion({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_DOUBLE_EQ(Precision(c), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 2.0 / 3.0);
+}
+
+TEST(ClassificationTest, F1PerfectAndZero) {
+  EXPECT_DOUBLE_EQ(F1Score({1, 0, 1}, {1, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score({1, 1, 1}, {0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {0, 0}), 0.0);  // Degenerate: no positives.
+}
+
+TEST(ClassificationTest, RocAucPerfectRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1, 0, 0}, {0.1, 0.2, 0.8, 0.9}), 0.0);
+}
+
+TEST(ClassificationTest, RocAucTiesGiveHalfCredit) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 1}, {0.5, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0, 1, 0, 1}, {0.3, 0.3, 0.3, 0.3}), 0.5);
+}
+
+TEST(ClassificationTest, RocAucSingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1}, {0.1, 0.9}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0}, {0.1, 0.9}), 0.5);
+}
+
+TEST(ClassificationTest, RocAucKnownMixedCase) {
+  // Positives ranked 1st and 3rd of 4: AUC = (2*2 - 1) / (2*2)? Compute by
+  // hand: pairs (pos, neg): (0.9 vs 0.7)=1, (0.9 vs 0.2)=1, (0.5 vs 0.7)=0,
+  // (0.5 vs 0.2)=1 -> 3/4.
+  EXPECT_DOUBLE_EQ(RocAuc({1, 0, 1, 0}, {0.9, 0.7, 0.5, 0.2}), 0.75);
+}
+
+TEST(ClassificationTest, LabelsAtContamination) {
+  const auto labels = LabelsAtContamination({0.1, 0.9, 0.5, 0.7}, 0.5);
+  EXPECT_EQ(labels, (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(LabelsAtContamination({0.3, 0.4}, 0.0),
+            (std::vector<int>{0, 0}));
+  EXPECT_EQ(LabelsAtContamination({0.3, 0.4}, 1.0),
+            (std::vector<int>{1, 1}));
+  EXPECT_TRUE(LabelsAtContamination({}, 0.5).empty());
+}
+
+TEST(ClassificationTest, F1AtTrueContaminationPerfect) {
+  EXPECT_DOUBLE_EQ(
+      F1AtTrueContamination({0, 1, 0, 1}, {0.1, 0.9, 0.2, 0.8}), 1.0);
+  EXPECT_DOUBLE_EQ(F1AtTrueContamination({}, {}), 0.0);
+}
+
+TEST(ClassificationTest, MeanAndStdError) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdError({5.0}), 0.0);
+  // Samples 1,3: var = 2, stderr = sqrt(2/2) = 1.
+  EXPECT_DOUBLE_EQ(StdError({1.0, 3.0}), 1.0);
+}
+
+TEST(CompletenessTest, SortedIntersectionSize) {
+  EXPECT_EQ(SortedIntersectionSize({1, 2, 3}, {2, 3, 4}), 2);
+  EXPECT_EQ(SortedIntersectionSize({}, {1}), 0);
+  EXPECT_EQ(SortedIntersectionSize({1, 5, 9}, {2, 6, 10}), 0);
+}
+
+TEST(CompletenessTest, ExactMatchScoresOne) {
+  EXPECT_DOUBLE_EQ(CompletenessScore({1, 2, 3}, {{1, 2, 3}}), 1.0);
+}
+
+TEST(CompletenessTest, PartialOverlapAveragesRecallPrecision) {
+  // gt {1,2,3,4}, pred {3,4,5,6}: overlap 2 -> 0.5*(2/4 + 2/4) = 0.5.
+  EXPECT_DOUBLE_EQ(CompletenessScore({1, 2, 3, 4}, {{3, 4, 5, 6}}), 0.5);
+}
+
+TEST(CompletenessTest, TakesBestPrediction) {
+  EXPECT_DOUBLE_EQ(
+      CompletenessScore({1, 2, 3}, {{9, 10}, {1, 2, 3}, {1}}), 1.0);
+  // Superset prediction penalized by precision: 0.5*(3/3 + 3/6) = 0.75.
+  EXPECT_DOUBLE_EQ(CompletenessScore({1, 2, 3}, {{1, 2, 3, 4, 5, 6}}), 0.75);
+}
+
+TEST(CompletenessTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(CompletenessScore({1}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(CompletenessScore({}, {{1}}), 0.0);
+  EXPECT_DOUBLE_EQ(CompletenessRatio({}, {{1}}), 0.0);
+}
+
+TEST(CompletenessTest, RatioAveragesGroups) {
+  // One exact match, one total miss -> 0.5.
+  EXPECT_DOUBLE_EQ(
+      CompletenessRatio({{1, 2}, {8, 9}}, {{1, 2}, {100, 101}}), 0.5);
+}
+
+TEST(CompletenessTest, CrIsOneIffExactCover) {
+  const std::vector<std::vector<int>> gt = {{1, 2, 3}, {7, 8}};
+  EXPECT_DOUBLE_EQ(CompletenessRatio(gt, gt), 1.0);
+  EXPECT_LT(CompletenessRatio(gt, {{1, 2, 3}, {7, 8, 9}}), 1.0);
+  EXPECT_LT(CompletenessRatio(gt, {{1, 2}, {7, 8}}), 1.0);
+}
+
+TEST(CompletenessTest, GroupJaccard) {
+  EXPECT_DOUBLE_EQ(GroupJaccard({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(GroupJaccard({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(GroupJaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(GroupJaccard({}, {}), 0.0);
+}
+
+TEST(CompletenessTest, MatchGroupsThresholds) {
+  const std::vector<std::vector<int>> gt = {{1, 2, 3, 4}};
+  const std::vector<std::vector<int>> pred = {{1, 2, 3, 4},
+                                              {1, 2},
+                                              {50, 51}};
+  const auto match = MatchGroups(gt, pred, 0.5);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], 0);  // Jaccard 0.5 meets the threshold.
+  EXPECT_EQ(match[2], -1);
+  const auto strict = MatchGroups(gt, pred, 0.9);
+  EXPECT_EQ(strict[1], -1);
+}
+
+TEST(CompletenessTest, MatchGroupsPicksBestOverlap) {
+  const std::vector<std::vector<int>> gt = {{1, 2, 3}, {3, 4, 5, 6}};
+  const std::vector<std::vector<int>> pred = {{3, 4, 5}};
+  const auto match = MatchGroups(gt, pred, 0.1);
+  EXPECT_EQ(match[0], 1);  // Jaccard 3/4 with gt[1] beats 1/5 with gt[0].
+}
+
+// Property: CR is monotone in prediction quality — adding the exact group
+// to any prediction set can only increase CR.
+class CrMonotonePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrMonotonePropertyTest, AddingExactGroupNeverHurts) {
+  const int offset = GetParam();
+  std::vector<std::vector<int>> gt = {
+      {offset, offset + 1, offset + 2},
+      {offset + 10, offset + 11}};
+  std::vector<std::vector<int>> pred = {{offset, offset + 5}};
+  const double before = CompletenessRatio(gt, pred);
+  pred.push_back(gt[0]);
+  const double after = CompletenessRatio(gt, pred);
+  EXPECT_GE(after, before);
+  EXPECT_GE(after, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CrMonotonePropertyTest,
+                         ::testing::Values(0, 5, 100, 1000));
+
+}  // namespace
+}  // namespace grgad

@@ -1,0 +1,204 @@
+// Candidate-group sampling (Alg. 1) and in-group pattern search (Alg. 2
+// line 4): coverage of planted structures, size caps, and classification.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/data/example_graph.h"
+#include "src/sampling/group_sampler.h"
+#include "src/sampling/pattern_search.h"
+
+namespace grgad {
+namespace {
+
+Graph Ring(int n) {
+  GraphBuilder b(n);
+  for (int i = 0; i < n; ++i) b.AddEdge(i, (i + 1) % n);
+  return b.Build();
+}
+
+Graph PathGraph(int n) {
+  GraphBuilder b(n);
+  for (int i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return b.Build();
+}
+
+Graph Star(int leaves) {
+  GraphBuilder b(leaves + 1);
+  for (int i = 1; i <= leaves; ++i) b.AddEdge(0, i);
+  return b.Build();
+}
+
+TEST(GroupSamplerTest, FindsPathBetweenAnchors) {
+  Graph g = PathGraph(8);
+  GroupSampler sampler;
+  const auto groups = sampler.Sample(g, {0, 7});
+  // The whole path must be among the candidates.
+  std::vector<int> full(8);
+  for (int i = 0; i < 8; ++i) full[i] = i;
+  EXPECT_NE(std::find(groups.begin(), groups.end(), full), groups.end());
+}
+
+TEST(GroupSamplerTest, FindsCycleThroughAnchor) {
+  Graph g = Ring(6);
+  GroupSampler sampler;
+  const auto groups = sampler.Sample(g, {0});
+  std::vector<int> ring(6);
+  for (int i = 0; i < 6; ++i) ring[i] = i;
+  EXPECT_NE(std::find(groups.begin(), groups.end(), ring), groups.end());
+}
+
+TEST(GroupSamplerTest, TreeSearchUnionsAnchorPaths) {
+  // Star with anchors on three leaves: the tree candidate is the union of
+  // hub-mediated paths between them.
+  Graph g = Star(10);
+  GroupSamplerOptions options;
+  options.path_mode = PathSearchMode::kUnweighted;
+  GroupSampler sampler(options);
+  const auto groups = sampler.Sample(g, {1, 3, 5});
+  const std::vector<int> star_core = {0, 1, 3, 5};
+  EXPECT_NE(std::find(groups.begin(), groups.end(), star_core), groups.end());
+}
+
+TEST(GroupSamplerTest, RespectsSizeCaps) {
+  Graph g = PathGraph(60);
+  GroupSamplerOptions options;
+  options.max_group_size = 10;
+  options.min_group_size = 3;
+  GroupSampler sampler(options);
+  const auto groups = sampler.Sample(g, {0, 5, 59});
+  for (const auto& group : groups) {
+    EXPECT_GE(group.size(), 3u);
+    EXPECT_LE(group.size(), 10u);
+  }
+}
+
+TEST(GroupSamplerTest, MaxGroupsBudget) {
+  const Dataset d = GenExampleGraph({});
+  std::vector<int> anchors;
+  for (int v = 0; v < d.graph.num_nodes(); v += 4) anchors.push_back(v);
+  GroupSamplerOptions options;
+  options.max_groups = 7;
+  GroupSampler sampler(options);
+  EXPECT_LE(sampler.Sample(d.graph, anchors).size(), 7u);
+}
+
+TEST(GroupSamplerTest, NoDuplicateCandidates) {
+  const Dataset d = GenExampleGraph({});
+  std::vector<int> anchors = {0, 5, 10, 95, 100};
+  GroupSampler sampler;
+  const auto groups = sampler.Sample(d.graph, anchors);
+  std::set<std::vector<int>> uniq(groups.begin(), groups.end());
+  EXPECT_EQ(uniq.size(), groups.size());
+}
+
+TEST(GroupSamplerTest, EmptyAnchorsGiveNoGroups) {
+  Graph g = Ring(5);
+  GroupSampler sampler;
+  EXPECT_TRUE(sampler.Sample(g, {}).empty());
+}
+
+TEST(GroupSamplerTest, CoversPlantedGroupsFromInternalAnchors) {
+  // When anchors include two members of each planted group, a candidate
+  // close to the planted group must appear (high node recall).
+  const Dataset d = GenExampleGraph({});
+  std::vector<int> anchors;
+  for (const auto& group : d.anomaly_groups) {
+    anchors.push_back(group.front());
+    anchors.push_back(group.back());
+    anchors.push_back(group[group.size() / 2]);
+  }
+  std::sort(anchors.begin(), anchors.end());
+  anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
+  GroupSampler sampler;
+  const auto candidates = sampler.Sample(d.graph, anchors);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& gt : d.anomaly_groups) {
+    double best_recall = 0.0;
+    for (const auto& cand : candidates) {
+      int overlap = 0;
+      for (int v : cand) {
+        overlap += std::binary_search(gt.begin(), gt.end(), v);
+      }
+      best_recall = std::max(
+          best_recall, static_cast<double>(overlap) / gt.size());
+    }
+    EXPECT_GE(best_recall, 0.6);
+  }
+}
+
+TEST(PatternSearchTest, FindsRing) {
+  const FoundPatterns p = SearchPatterns(Ring(5));
+  ASSERT_EQ(p.cycles.size(), 1u);
+  EXPECT_EQ(p.cycles[0].size(), 5u);
+  EXPECT_TRUE(p.trees.empty());
+}
+
+TEST(PatternSearchTest, FindsPathEndpoints) {
+  const FoundPatterns p = SearchPatterns(PathGraph(6));
+  ASSERT_EQ(p.paths.size(), 1u);
+  EXPECT_EQ(p.paths[0].size(), 6u);
+  EXPECT_EQ(p.paths[0].front(), 0);
+  EXPECT_EQ(p.paths[0].back(), 5);
+  EXPECT_TRUE(p.cycles.empty());
+}
+
+TEST(PatternSearchTest, FindsStarAsTree) {
+  const FoundPatterns p = SearchPatterns(Star(4));
+  ASSERT_FALSE(p.trees.empty());
+  EXPECT_EQ(p.trees[0][0], 0);  // Root first.
+  EXPECT_EQ(p.trees[0].size(), 5u);
+}
+
+TEST(PatternSearchTest, EmptyAndTinyGraphs) {
+  EXPECT_TRUE(SearchPatterns(GraphBuilder(1).Build()).empty());
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  const FoundPatterns p = SearchPatterns(b.Build());
+  EXPECT_TRUE(p.cycles.empty());
+  EXPECT_TRUE(p.trees.empty());
+}
+
+TEST(ClassifyTest, Path) {
+  EXPECT_EQ(ClassifyGroupPattern(PathGraph(7)), TopologyPattern::kPath);
+}
+
+TEST(ClassifyTest, Tree) {
+  EXPECT_EQ(ClassifyGroupPattern(Star(5)), TopologyPattern::kTree);
+  // A deeper tree.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(1, 4);
+  b.AddEdge(2, 5);
+  EXPECT_EQ(ClassifyGroupPattern(b.Build()), TopologyPattern::kTree);
+}
+
+TEST(ClassifyTest, Cycle) {
+  EXPECT_EQ(ClassifyGroupPattern(Ring(6)), TopologyPattern::kCycle);
+  // Cycle with a small tail still cycle-dominated.
+  GraphBuilder b(6);
+  for (int i = 0; i < 4; ++i) b.AddEdge(i, (i + 1) % 4);
+  b.AddEdge(3, 4);
+  EXPECT_EQ(ClassifyGroupPattern(b.Build()), TopologyPattern::kCycle);
+}
+
+TEST(ClassifyTest, MixedWhenCycleMinor) {
+  // Small triangle with a long tail: cycle covers < half the nodes.
+  GraphBuilder b(9);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  for (int i = 2; i + 1 < 9; ++i) b.AddEdge(i, i + 1);
+  EXPECT_EQ(ClassifyGroupPattern(b.Build()), TopologyPattern::kMixed);
+}
+
+TEST(ClassifyTest, SingleNodeIsMixed) {
+  EXPECT_EQ(ClassifyGroupPattern(GraphBuilder(1).Build()),
+            TopologyPattern::kMixed);
+}
+
+}  // namespace
+}  // namespace grgad

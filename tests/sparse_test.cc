@@ -1,0 +1,145 @@
+// CSR SparseMatrix: construction semantics (dedup, sorting), SpMM kernels,
+// transpose, normalizers, and sparse-sparse products against dense oracles.
+#include "src/tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace grgad {
+namespace {
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, int nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  for (int i = 0; i < nnz; ++i) {
+    t.push_back({static_cast<int>(rng.UniformInt(uint64_t{rows})),
+                 static_cast<int>(rng.UniformInt(uint64_t{cols})),
+                 rng.Normal()});
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(t));
+}
+
+TEST(SparseTest, EmptyMatrix) {
+  SparseMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(SparseTest, FromTripletsSortsAndDedups) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 3, {{1, 2, 1.0}, {1, 0, 2.0}, {1, 2, 3.0}, {0, 0, 5.0}});
+  EXPECT_EQ(m.nnz(), 3u);  // (1,2) summed.
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 2), 0.0);
+  auto cols = m.RowCols(1);
+  EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+  EXPECT_EQ(m.RowNnz(1), 2u);
+  EXPECT_EQ(m.RowNnz(2), 0u);
+}
+
+TEST(SparseTest, IdentitySpmm) {
+  Rng rng(5);
+  Matrix x = Matrix::Gaussian(4, 3, &rng);
+  EXPECT_TRUE(SparseMatrix::Identity(4).Spmm(x).ApproxEquals(x, 1e-12));
+}
+
+TEST(SparseTest, SpmmMatchesDense) {
+  SparseMatrix s = RandomSparse(8, 6, 20, 6);
+  Rng rng(7);
+  Matrix x = Matrix::Gaussian(6, 5, &rng);
+  EXPECT_TRUE(s.Spmm(x).ApproxEquals(MatMul(s.ToDense(), x), 1e-10));
+}
+
+TEST(SparseTest, SpmmTransposeMatchesDense) {
+  SparseMatrix s = RandomSparse(8, 6, 20, 8);
+  Rng rng(9);
+  Matrix x = Matrix::Gaussian(8, 4, &rng);
+  EXPECT_TRUE(s.SpmmTransposeThis(x).ApproxEquals(
+      MatMul(s.ToDense().Transpose(), x), 1e-10));
+}
+
+TEST(SparseTest, TransposeMatchesDense) {
+  SparseMatrix s = RandomSparse(5, 9, 15, 10);
+  EXPECT_TRUE(
+      s.Transpose().ToDense().ApproxEquals(s.ToDense().Transpose(), 1e-12));
+}
+
+TEST(SparseTest, RowSums) {
+  SparseMatrix s = SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, -3.0}});
+  EXPECT_EQ(s.RowSums(), (std::vector<double>{3.0, -3.0}));
+}
+
+TEST(SparseTest, RowNormalized) {
+  SparseMatrix s = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 3.0}, {1, 0, -2.0}});
+  SparseMatrix n = s.RowNormalized();
+  EXPECT_DOUBLE_EQ(n.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(n.At(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(n.At(1, 0), -1.0);  // |sum| normalization.
+}
+
+TEST(SparseTest, MaxNormalizedAndScaled) {
+  SparseMatrix s = SparseMatrix::FromTriplets(2, 2, {{0, 0, -4.0},
+                                                     {1, 1, 2.0}});
+  SparseMatrix n = s.MaxNormalized();
+  EXPECT_DOUBLE_EQ(n.At(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(n.At(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(s.Scaled(0.5).At(0, 0), -2.0);
+  // Empty matrix: no-op.
+  SparseMatrix empty;
+  EXPECT_EQ(empty.MaxNormalized().nnz(), 0u);
+}
+
+TEST(SparseTest, Pruned) {
+  SparseMatrix s = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1e-9}, {0, 1, 0.5}, {1, 1, -1e-9}});
+  SparseMatrix p = s.Pruned(1e-6);
+  EXPECT_EQ(p.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(p.At(0, 1), 0.5);
+}
+
+TEST(SparseTest, ApproxEqualsHandlesExplicitZeros) {
+  SparseMatrix a = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0},
+                                                     {0, 1, 0.0}});
+  SparseMatrix b = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}});
+  EXPECT_TRUE(a.ApproxEquals(b));
+  SparseMatrix c = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0},
+                                                     {1, 1, 0.1}});
+  EXPECT_FALSE(a.ApproxEquals(c));
+}
+
+TEST(SparseTest, MatMulSparseMatchesDense) {
+  SparseMatrix a = RandomSparse(6, 5, 12, 11);
+  SparseMatrix b = RandomSparse(5, 7, 14, 12);
+  Matrix expected = MatMul(a.ToDense(), b.ToDense());
+  EXPECT_TRUE(MatMulSparse(a, b).ToDense().ApproxEquals(expected, 1e-10));
+}
+
+TEST(SparseTest, MatMulSparsePrunes) {
+  SparseMatrix a = SparseMatrix::FromTriplets(1, 1, {{0, 0, 1e-4}});
+  SparseMatrix b = SparseMatrix::FromTriplets(1, 1, {{0, 0, 1e-4}});
+  EXPECT_EQ(MatMulSparse(a, b, 1e-6).nnz(), 0u);
+  EXPECT_EQ(MatMulSparse(a, b, 0.0).nnz(), 1u);
+}
+
+// Property: (A B)^T == B^T A^T for sparse products.
+class SparseProductPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseProductPropertyTest, TransposeOfProduct) {
+  const int seed = GetParam();
+  SparseMatrix a = RandomSparse(7, 6, 18, seed);
+  SparseMatrix b = RandomSparse(6, 8, 18, seed + 1000);
+  SparseMatrix left = MatMulSparse(a, b).Transpose();
+  SparseMatrix right = MatMulSparse(b.Transpose(), a.Transpose());
+  EXPECT_TRUE(left.ApproxEquals(right, 1e-10)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseProductPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace grgad

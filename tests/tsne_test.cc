@@ -1,0 +1,92 @@
+// t-SNE: output geometry (centering, shape), determinism, and cluster
+// preservation on well-separated Gaussian blobs.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/viz/tsne.h"
+
+namespace grgad {
+namespace {
+
+/// Two well-separated 8-d blobs of 30 points each.
+struct Blobs {
+  Matrix x;
+  std::vector<int> labels;
+};
+
+Blobs MakeBlobs(uint64_t seed) {
+  Rng rng(seed);
+  Blobs data;
+  data.x = Matrix(60, 8);
+  data.labels.assign(60, 0);
+  for (int i = 0; i < 60; ++i) {
+    const bool second = i >= 30;
+    data.labels[i] = second ? 1 : 0;
+    for (int j = 0; j < 8; ++j) {
+      data.x(i, j) = rng.Normal(second ? 6.0 : 0.0, 0.5);
+    }
+  }
+  return data;
+}
+
+TsneOptions QuickTsne() {
+  TsneOptions options;
+  options.iterations = 150;
+  return options;
+}
+
+TEST(TsneTest, OutputShapeAndCentering) {
+  const Blobs data = MakeBlobs(1);
+  const Matrix y = Tsne(data.x, QuickTsne());
+  EXPECT_EQ(y.rows(), 60u);
+  EXPECT_EQ(y.cols(), 2u);
+  const auto center = y.ColMeans();
+  EXPECT_NEAR(center[0], 0.0, 1e-6);
+  EXPECT_NEAR(center[1], 0.0, 1e-6);
+  for (size_t i = 0; i < y.rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(y(i, 0)));
+    EXPECT_TRUE(std::isfinite(y(i, 1)));
+  }
+}
+
+TEST(TsneTest, Deterministic) {
+  const Blobs data = MakeBlobs(2);
+  const Matrix a = Tsne(data.x, QuickTsne());
+  const Matrix b = Tsne(data.x, QuickTsne());
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-12));
+}
+
+TEST(TsneTest, SeparatesBlobs) {
+  const Blobs data = MakeBlobs(3);
+  const Matrix y = Tsne(data.x, QuickTsne());
+  EXPECT_GT(BinarySeparationScore(y, data.labels), 0.5);
+}
+
+TEST(TsneTest, PerplexityClampedForTinyInputs) {
+  Rng rng(4);
+  Matrix x = Matrix::Gaussian(6, 3, &rng);
+  TsneOptions options;
+  options.perplexity = 50.0;  // Way above n.
+  options.iterations = 50;
+  const Matrix y = Tsne(x, options);
+  EXPECT_EQ(y.rows(), 6u);
+  for (size_t i = 0; i < y.rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(y(i, 0)));
+  }
+}
+
+TEST(SeparationScoreTest, PerfectAndDegenerate) {
+  Matrix y(4, 2);
+  y(0, 0) = 0.0;
+  y(1, 0) = 0.1;
+  y(2, 0) = 10.0;
+  y(3, 0) = 10.1;
+  EXPECT_GT(BinarySeparationScore(y, {0, 0, 1, 1}), 0.9);
+  EXPECT_LT(BinarySeparationScore(y, {1, 0, 1, 0}), 0.1);
+  EXPECT_DOUBLE_EQ(BinarySeparationScore(y, {0, 0, 0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace grgad

@@ -1,0 +1,231 @@
+// Tests for Status/Result, Rng distributions, CSV, and ParallelFor.
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/csv.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/timer.h"
+
+namespace grgad {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal, StatusCode::kIoError,
+        StatusCode::kNotConverged}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok_result(42);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 42);
+  EXPECT_TRUE(ok_result.status().ok());
+
+  Result<int> err_result(Status::NotFound("missing"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err_result.value_or(-1), -1);
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    GRGAD_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicStream) {
+  Rng a(123), b(123), c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntIsUnbiasedOverSmallRange) {
+  Rng rng(8);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.UniformInt(uint64_t{5})];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-2}, int64_t{2});
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(10);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(12);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) sum += rng.Poisson(2.5);
+  EXPECT_NEAR(sum / 10000, 2.5, 0.1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, PowerLawBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const int k = rng.PowerLaw(2, 50, 2.5);
+    ASSERT_GE(k, 2);
+    ASSERT_LE(k, 50);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(14);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t v : uniq) EXPECT_LT(v, 100u);
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 5).size(), 5u);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(15);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[1]), 3.0, 0.3);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(16);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(CsvTest, EscapingRules) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, FormatDoubleEdgeCases) {
+  EXPECT_EQ(FormatDouble(std::nan("")), "nan");
+  EXPECT_EQ(FormatDouble(HUGE_VAL), "inf");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+}
+
+TEST(CsvTest, BuildsTable) {
+  CsvWriter w({"name", "value"});
+  w.AppendRow({"alpha", "1"});
+  w.AppendNumericRow({2.5, 3.25});
+  EXPECT_EQ(w.num_rows(), 2u);
+  EXPECT_EQ(w.ToString(), "name,value\nalpha,1\n2.5,3.25\n");
+}
+
+TEST(CsvTest, WriteFileRoundTrip) {
+  CsvWriter w({"x"});
+  w.AppendRow({"1"});
+  const std::string path = ::testing::TempDir() + "/grgad_csv_test.csv";
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  EXPECT_FALSE(w.WriteFile("/nonexistent-dir/zzz.csv").ok());
+}
+
+TEST(ParallelTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, EmptyAndTinyRanges) {
+  int calls = 0;
+  ParallelFor(0, 8, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  ParallelFor(3, 100, [&](size_t begin, size_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace grgad
