@@ -1,7 +1,22 @@
 // google-benchmark microbenchmarks for the substrates: dense/sparse linear
 // algebra, graph algorithms, GraphSNN weighting, detectors, and one TPGCL
 // training epoch. These are throughput references, not paper figures.
+//
+// Before the google-benchmark suites run, main() times the optimized tensor
+// kernels against the seed serial reference kernels on the training-hot
+// shapes and writes the results to bench_results/micro.json (schema in
+// PERF.md), giving every PR a machine-readable before/after perf trajectory.
+// Set GRGAD_MICRO_JSON=0 to skip that phase, and GRGAD_MICRO_JSON_ONLY=1 to
+// run only it.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "src/data/example_graph.h"
 #include "src/gcl/tpgcl.h"
@@ -12,7 +27,11 @@
 #include "src/od/iforest.h"
 #include "src/sampling/pattern_search.h"
 #include "src/tensor/matrix.h"
+#include "src/tensor/reference_kernels.h"
+#include "src/tensor/sparse.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
+#include "src/util/timer.h"
 #include "src/viz/tsne.h"
 
 namespace grgad {
@@ -161,7 +180,167 @@ void BM_TpgclEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_TpgclEpoch);
 
+// ---------------------------------------------------------------------------
+// Seed-vs-optimized kernel comparison -> bench_results/micro.json.
+// ---------------------------------------------------------------------------
+
+struct KernelResult {
+  std::string name;
+  std::string shape;
+  double seed_ms = 0.0;
+  double opt_ms = 0.0;
+};
+
+/// Median-of-reps wall-clock milliseconds for one call of f (after a warmup
+/// call, which also populates caches like the SpmmTransposeThis transpose).
+template <typename F>
+double MedianMs(F&& f) {
+  f();  // Warmup.
+  std::vector<double> samples;
+  Timer total;
+  // At least 5 samples; keep sampling up to ~0.6 s for stable medians.
+  while (samples.size() < 5 ||
+         (total.ElapsedMillis() < 600.0 && samples.size() < 25)) {
+    Timer t;
+    f();
+    samples.push_back(t.ElapsedMillis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+SparseMatrix BenchAdjacency(int n, int avg_degree, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(n) * avg_degree);
+  for (int e = 0; e < n * avg_degree; ++e) {
+    const int u = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const int v = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    t.push_back({u, v, 1.0});
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(t));
+}
+
+std::vector<KernelResult> CompareKernels() {
+  std::vector<KernelResult> results;
+  auto add = [&](std::string name, std::string shape, auto&& seed_fn,
+                 auto&& opt_fn) {
+    KernelResult r;
+    r.name = std::move(name);
+    r.shape = std::move(shape);
+    r.seed_ms = MedianMs(seed_fn);
+    r.opt_ms = MedianMs(opt_fn);
+    std::printf("  %-24s %-24s seed %8.3f ms   opt %8.3f ms   %.2fx\n",
+                r.name.c_str(), r.shape.c_str(), r.seed_ms, r.opt_ms,
+                r.seed_ms / r.opt_ms);
+    results.push_back(std::move(r));
+  };
+
+  // Dense kernels on the acceptance shape and the GCN tall-skinny shape.
+  {
+    Matrix a = RandomMatrix(512, 512, 21);
+    Matrix b = RandomMatrix(512, 512, 22);
+    add(
+        "matmul", "512x512x512",
+        [&] { benchmark::DoNotOptimize(reference::MatMul(a, b)); },
+        [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
+    add(
+        "matmul_transpose_b", "512x512x512",
+        [&] { benchmark::DoNotOptimize(reference::MatMulTransposeB(a, b)); },
+        [&] { benchmark::DoNotOptimize(MatMulTransposeB(a, b)); });
+    add(
+        "matmul_transpose_a", "512x512x512",
+        [&] { benchmark::DoNotOptimize(reference::MatMulTransposeA(a, b)); },
+        [&] { benchmark::DoNotOptimize(MatMulTransposeA(a, b)); });
+    add(
+        "transpose", "512x512",
+        [&] { benchmark::DoNotOptimize(reference::Transpose(a)); },
+        [&] { benchmark::DoNotOptimize(a.Transpose()); });
+  }
+  {
+    Matrix a = RandomMatrix(4096, 256, 23);
+    Matrix b = RandomMatrix(256, 64, 24);
+    add(
+        "matmul", "4096x256x64",
+        [&] { benchmark::DoNotOptimize(reference::MatMul(a, b)); },
+        [&] { benchmark::DoNotOptimize(MatMul(a, b)); });
+  }
+
+  // Sparse kernels on a 10k-node adjacency with 64-wide features (the GCN
+  // message-passing shape) — forward and the autograd backward.
+  {
+    SparseMatrix s = BenchAdjacency(10000, 4, 25);
+    Matrix x = RandomMatrix(10000, 64, 26);
+    add(
+        "spmm", "10000x10000(nnz~40k)x64",
+        [&] { benchmark::DoNotOptimize(reference::Spmm(s, x)); },
+        [&] { benchmark::DoNotOptimize(s.Spmm(x)); });
+    add(
+        "spmm_transpose_this", "10000x10000(nnz~40k)x64",
+        [&] { benchmark::DoNotOptimize(reference::SpmmTransposeThis(s, x)); },
+        [&] { benchmark::DoNotOptimize(s.SpmmTransposeThis(x)); });
+  }
+
+  // Elementwise map: the seed's per-element std::function dispatch vs the
+  // inlined MapFn fast path used by autograd's ReLU/Sigmoid/Tanh.
+  {
+    Matrix x = RandomMatrix(2048, 256, 27);
+    const std::function<double(double)> relu = [](double v) {
+      return v > 0.0 ? v : 0.0;
+    };
+    add(
+        "map_relu", "2048x256",
+        [&] { benchmark::DoNotOptimize(reference::Map(x, relu)); },
+        [&] {
+          benchmark::DoNotOptimize(
+              x.MapFn([](double v) { return v > 0.0 ? v : 0.0; }));
+        });
+  }
+  return results;
+}
+
+void WriteMicroJson() {
+  std::printf("Kernel comparison (seed serial reference vs optimized), "
+              "GRGAD_THREADS=%d\n", ParallelismDegree());
+  const std::vector<KernelResult> results = CompareKernels();
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  const char* path = "bench_results/micro.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("  !! could not write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"grgad-micro-v1\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n", ParallelismDegree());
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"shape\": \"%s\", "
+                 "\"seed_ms\": %.6f, \"opt_ms\": %.6f, \"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.shape.c_str(), r.seed_ms, r.opt_ms,
+                 r.seed_ms / r.opt_ms, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("  -> wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace grgad
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* json_env = std::getenv("GRGAD_MICRO_JSON");
+  if (json_env == nullptr || json_env[0] != '0') {
+    grgad::WriteMicroJson();
+  }
+  const char* only_env = std::getenv("GRGAD_MICRO_JSON_ONLY");
+  if (only_env != nullptr && only_env[0] == '1') return 0;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

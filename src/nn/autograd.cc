@@ -216,19 +216,21 @@ Var AddRowBroadcast(const Var& a, const Var& bias) {
   });
 }
 
+// The elementwise ops below use Matrix::MapFn / flat loops over data()
+// rather than the std::function Map: these run every epoch over n_nodes x
+// hidden activations and an indirect call per element is measurable.
+
 Var Relu(const Var& a) {
-  Matrix out = a.value().Map([](double v) { return v > 0.0 ? v : 0.0; });
+  Matrix out = a.value().MapFn([](double v) { return v > 0.0 ? v : 0.0; });
   auto an = AutogradOps::node(a);
   return MakeOpNode(std::move(out), {a}, [an](const Matrix& g) {
     if (!an->requires_grad) return;
     Matrix gg = g;
-    const Matrix& x = an->value;
-    for (size_t i = 0; i < gg.rows(); ++i) {
-      double* grow = gg.RowPtr(i);
-      const double* xrow = x.RowPtr(i);
-      for (size_t j = 0; j < gg.cols(); ++j) {
-        if (xrow[j] <= 0.0) grow[j] = 0.0;
-      }
+    double* __restrict gd = gg.data();
+    const double* __restrict xd = an->value.data();
+    const size_t size = gg.size();
+    for (size_t i = 0; i < size; ++i) {
+      if (xd[i] <= 0.0) gd[i] = 0.0;
     }
     an->AccumulateGrad(gg);
   });
@@ -236,7 +238,7 @@ Var Relu(const Var& a) {
 
 Var Sigmoid(const Var& a) {
   Matrix out =
-      a.value().Map([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+      a.value().MapFn([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
   auto an = AutogradOps::node(a);
   // Capture the output value for the gradient: s' = s (1 - s).
   Matrix out_copy = out;
@@ -244,38 +246,36 @@ Var Sigmoid(const Var& a) {
                     [an, s = std::move(out_copy)](const Matrix& g) {
                       if (!an->requires_grad) return;
                       Matrix gg = g;
-                      for (size_t i = 0; i < gg.rows(); ++i) {
-                        double* grow = gg.RowPtr(i);
-                        const double* srow = s.RowPtr(i);
-                        for (size_t j = 0; j < gg.cols(); ++j) {
-                          grow[j] *= srow[j] * (1.0 - srow[j]);
-                        }
+                      double* __restrict gd = gg.data();
+                      const double* __restrict sd = s.data();
+                      const size_t size = gg.size();
+                      for (size_t i = 0; i < size; ++i) {
+                        gd[i] *= sd[i] * (1.0 - sd[i]);
                       }
                       an->AccumulateGrad(gg);
                     });
 }
 
 Var Tanh(const Var& a) {
-  Matrix out = a.value().Map([](double v) { return std::tanh(v); });
+  Matrix out = a.value().MapFn([](double v) { return std::tanh(v); });
   auto an = AutogradOps::node(a);
   Matrix out_copy = out;
   return MakeOpNode(std::move(out), {a},
                     [an, t = std::move(out_copy)](const Matrix& g) {
                       if (!an->requires_grad) return;
                       Matrix gg = g;
-                      for (size_t i = 0; i < gg.rows(); ++i) {
-                        double* grow = gg.RowPtr(i);
-                        const double* trow = t.RowPtr(i);
-                        for (size_t j = 0; j < gg.cols(); ++j) {
-                          grow[j] *= 1.0 - trow[j] * trow[j];
-                        }
+                      double* __restrict gd = gg.data();
+                      const double* __restrict td = t.data();
+                      const size_t size = gg.size();
+                      for (size_t i = 0; i < size; ++i) {
+                        gd[i] *= 1.0 - td[i] * td[i];
                       }
                       an->AccumulateGrad(gg);
                     });
 }
 
 Var Exp(const Var& a) {
-  Matrix out = a.value().Map([](double v) { return std::exp(v); });
+  Matrix out = a.value().MapFn([](double v) { return std::exp(v); });
   auto an = AutogradOps::node(a);
   Matrix out_copy = out;
   return MakeOpNode(std::move(out), {a},
@@ -285,17 +285,15 @@ Var Exp(const Var& a) {
 }
 
 Var Log(const Var& a, double eps) {
-  Matrix out = a.value().Map([eps](double v) { return std::log(v + eps); });
+  Matrix out = a.value().MapFn([eps](double v) { return std::log(v + eps); });
   auto an = AutogradOps::node(a);
   return MakeOpNode(std::move(out), {a}, [an, eps](const Matrix& g) {
     if (!an->requires_grad) return;
     Matrix gg = g;
-    const Matrix& x = an->value;
-    for (size_t i = 0; i < gg.rows(); ++i) {
-      double* grow = gg.RowPtr(i);
-      const double* xrow = x.RowPtr(i);
-      for (size_t j = 0; j < gg.cols(); ++j) grow[j] /= (xrow[j] + eps);
-    }
+    double* __restrict gd = gg.data();
+    const double* __restrict xd = an->value.data();
+    const size_t size = gg.size();
+    for (size_t i = 0; i < size; ++i) gd[i] /= (xd[i] + eps);
     an->AccumulateGrad(gg);
   });
 }

@@ -67,21 +67,37 @@ Matrix Matrix::Hadamard(const Matrix& other) const {
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* src = RowPtr(i);
-    for (size_t j = 0; j < cols_; ++j) out(j, i) = src[j];
-  }
+  // 32x32 tiles: both the source rows and the (strided) destination columns
+  // of a tile stay cache-resident, instead of striding through the full
+  // destination once per source row. Tiles write disjoint output, so the
+  // parallel version is bitwise identical to the serial one.
+  constexpr size_t kTile = 32;
+  const size_t row_tiles = (rows_ + kTile - 1) / kTile;
+  double* od = out.data_.data();
+  ParallelFor(row_tiles, 4, [&](size_t tile_begin, size_t tile_end) {
+    for (size_t t = tile_begin; t < tile_end; ++t) {
+      const size_t i0 = t * kTile;
+      const size_t in = std::min(kTile, rows_ - i0);
+      for (size_t j0 = 0; j0 < cols_; j0 += kTile) {
+        const size_t jn = std::min(kTile, cols_ - j0);
+        for (size_t i = 0; i < in; ++i) {
+          const double* src = RowPtr(i0 + i) + j0;
+          for (size_t j = 0; j < jn; ++j) {
+            od[(j0 + j) * rows_ + i0 + i] = src[j];
+          }
+        }
+      }
+    }
+  });
   return out;
 }
 
 Matrix Matrix::Map(const std::function<double(double)>& f) const {
-  Matrix out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
-  return out;
+  return MapFn(f);
 }
 
 void Matrix::MapInPlace(const std::function<double(double)>& f) {
-  for (double& v : data_) v = f(v);
+  MapInPlaceFn(f);
 }
 
 void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
@@ -202,63 +218,133 @@ Matrix operator*(const Matrix& a, double s) {
   return out;
 }
 
+namespace {
+
+// Register-blocked MatMul panel (see PERF.md).
+//
+// The inner kernel holds a 4-row x 2-vector tile of out in eight NAMED
+// vector variables (GCC/Clang vector extensions), accumulating across the
+// whole k loop and storing each output element exactly once — the seed's
+// i-k-j loop re-loaded and re-stored every output element k times and was
+// store-port bound. Explicit vector variables instead of a double[4][N]
+// array matter: with runtime strides GCC's auto-vectorizer either picks the
+// k loop (strided loads) or spills the accumulator array to the stack on
+// every FMA, both measured 2-4x SLOWER than the seed loop. The vector width
+// tracks the ISA so eight accumulators plus two B vectors fit the register
+// file (zmm on AVX-512, ymm on AVX, xmm otherwise).
+#if defined(__AVX512F__)
+typedef double vd __attribute__((vector_size(64), aligned(8), may_alias));
+#elif defined(__AVX__)
+typedef double vd __attribute__((vector_size(32), aligned(8), may_alias));
+#else
+typedef double vd __attribute__((vector_size(16), aligned(8), may_alias));
+#endif
+constexpr size_t kVecWidth = sizeof(vd) / sizeof(double);
+constexpr size_t kTileRows = 4;
+constexpr size_t kTileCols = 2 * kVecWidth;
+
+// Tail kernel for rows/column ranges not covered by full register tiles:
+// the seed's single-row i-k-j loop restricted to columns [j0, j0+jn). Same
+// ascending-k accumulation order as the register-tiled path.
+void MatMulRowTail(const double* ad, const double* bd, double* od, size_t i,
+                   size_t j0, size_t jn, size_t k, size_t n) {
+  const double* arow = ad + i * k;
+  double* __restrict orow = od + i * n + j0;
+  for (size_t kk = 0; kk < k; ++kk) {
+    const double* __restrict brow = bd + kk * n + j0;
+    const double av = arow[kk];
+    for (size_t j = 0; j < jn; ++j) orow[j] += av * brow[j];
+  }
+}
+
+// Multiplies rows [row_begin, row_end) of a into out (full k reduction) as
+// register tiles plus seed-shaped tails. Every output element accumulates
+// its k products in ascending kk order, so the result is bitwise identical
+// to the serial reference kernel, independent of tiling, tails, and the row
+// partition (hence of GRGAD_THREADS).
+void MatMulPanel(const double* __restrict ad, const double* __restrict bd,
+                 double* __restrict od, size_t row_begin, size_t row_end,
+                 size_t k, size_t n) {
+  const size_t n_tiled = n - n % kTileCols;
+  size_t i = row_begin;
+  for (; i + kTileRows <= row_end; i += kTileRows) {
+    const double* a0 = ad + (i + 0) * k;
+    const double* a1 = ad + (i + 1) * k;
+    const double* a2 = ad + (i + 2) * k;
+    const double* a3 = ad + (i + 3) * k;
+    for (size_t j0 = 0; j0 < n_tiled; j0 += kTileCols) {
+      vd c00{}, c01{}, c10{}, c11{}, c20{}, c21{}, c30{}, c31{};
+      const double* bp = bd + j0;
+      for (size_t kk = 0; kk < k; ++kk, bp += n) {
+        const vd b0 = *reinterpret_cast<const vd*>(bp);
+        const vd b1 = *reinterpret_cast<const vd*>(bp + kVecWidth);
+        const double v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+        c00 += b0 * v0;
+        c01 += b1 * v0;
+        c10 += b0 * v1;
+        c11 += b1 * v1;
+        c20 += b0 * v2;
+        c21 += b1 * v2;
+        c30 += b0 * v3;
+        c31 += b1 * v3;
+      }
+      double* o0 = od + (i + 0) * n + j0;
+      double* o1 = od + (i + 1) * n + j0;
+      double* o2 = od + (i + 2) * n + j0;
+      double* o3 = od + (i + 3) * n + j0;
+      *reinterpret_cast<vd*>(o0) = c00;
+      *reinterpret_cast<vd*>(o0 + kVecWidth) = c01;
+      *reinterpret_cast<vd*>(o1) = c10;
+      *reinterpret_cast<vd*>(o1 + kVecWidth) = c11;
+      *reinterpret_cast<vd*>(o2) = c20;
+      *reinterpret_cast<vd*>(o2 + kVecWidth) = c21;
+      *reinterpret_cast<vd*>(o3) = c30;
+      *reinterpret_cast<vd*>(o3 + kVecWidth) = c31;
+    }
+    if (n_tiled < n) {
+      for (size_t r = 0; r < kTileRows; ++r) {
+        MatMulRowTail(ad, bd, od, i + r, n_tiled, n - n_tiled, k, n);
+      }
+    }
+  }
+  for (; i < row_end; ++i) MatMulRowTail(ad, bd, od, i, 0, n, k, n);
+}
+
+}  // namespace
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   GRGAD_CHECK_EQ(a.cols(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix out(m, n);
-  // i-k-j loop: the inner j-loop streams over contiguous rows of b and out,
-  // which vectorizes well; parallelized over disjoint output row ranges.
-  ParallelFor(m, 64, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* orow = out.RowPtr(i);
-      for (size_t kk = 0; kk < k; ++kk) {
-        const double av = arow[kk];
-        if (av == 0.0) continue;
-        const double* brow = b.RowPtr(kk);
-        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out.data();
+  ParallelFor(m, 2 * kTileRows, [&](size_t begin, size_t end) {
+    MatMulPanel(ad, bd, od, begin, end, k, n);
   });
   return out;
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   GRGAD_CHECK_EQ(a.cols(), b.cols());
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Matrix out(m, n);
-  ParallelFor(m, 64, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* orow = out.RowPtr(i);
-      for (size_t j = 0; j < n; ++j) {
-        const double* brow = b.RowPtr(j);
-        double s = 0.0;
-        for (size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-        orow[j] = s;
-      }
-    }
-  });
-  return out;
+  // Transposing b once and reusing the blocked MatMul beats the seed's
+  // per-element dot products by a wide margin: the dots re-streamed all of b
+  // per output row and (without -ffast-math) could not vectorize their
+  // reductions. Accumulation order per out element is ascending k in both,
+  // but the compiler may contract FMAs differently in the two loop shapes,
+  // so agreement with the reference kernel is ~1e-13, not bitwise (results
+  // ARE bitwise stable across thread counts and runs).
+  return MatMul(a, b.Transpose());
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   GRGAD_CHECK_EQ(a.rows(), b.rows());
-  const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  Matrix out(m, n);
-  // Accumulate rank-1 updates; serial over k, fine for the thin matrices
-  // (parameter gradients) this is used for.
-  for (size_t kk = 0; kk < k; ++kk) {
-    const double* arow = a.RowPtr(kk);
-    const double* brow = b.RowPtr(kk);
-    for (size_t i = 0; i < m; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* orow = out.RowPtr(i);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-  return out;
+  // Same trick as MatMulTransposeB: one blocked transpose converts the seed's
+  // serial rank-1 accumulation into the parallel blocked MatMul, whose row
+  // partition needs no cross-thread accumulator merging and keeps ascending-k
+  // accumulation per element (agreement with the reference kernel within
+  // ~1e-13 — see MatMulTransposeB about FMA contraction).
+  return MatMul(a.Transpose(), b);
 }
 
 }  // namespace grgad

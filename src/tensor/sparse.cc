@@ -13,10 +13,14 @@ SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
     GRGAD_CHECK(t.row >= 0 && static_cast<size_t>(t.row) < rows);
     GRGAD_CHECK(t.col >= 0 && static_cast<size_t>(t.col) < cols);
   }
-  std::sort(triplets.begin(), triplets.end(),
-            [](const Triplet& a, const Triplet& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
-            });
+  const auto row_col_less = [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  };
+  // Producers like MatMulSparse and Transpose emit in (row, col) order
+  // already; skip the O(nnz log nnz) sort for them.
+  if (!std::is_sorted(triplets.begin(), triplets.end(), row_col_less)) {
+    std::sort(triplets.begin(), triplets.end(), row_col_less);
+  }
   SparseMatrix out;
   out.rows_ = rows;
   out.cols_ = cols;
@@ -44,6 +48,28 @@ SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
   return out;
 }
 
+SparseMatrix& SparseMatrix::operator=(const SparseMatrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = other.row_ptr_;
+  col_idx_ = other.col_idx_;
+  values_ = other.values_;
+  transpose_cache_.reset();  // See the copy constructor.
+  return *this;
+}
+
+SparseMatrix& SparseMatrix::operator=(SparseMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = std::move(other.row_ptr_);
+  col_idx_ = std::move(other.col_idx_);
+  values_ = std::move(other.values_);
+  transpose_cache_ = std::move(other.transpose_cache_);
+  return *this;
+}
+
 SparseMatrix SparseMatrix::Identity(size_t n) {
   std::vector<Triplet> t;
   t.reserve(n);
@@ -67,10 +93,10 @@ Matrix SparseMatrix::Spmm(const Matrix& dense) const {
   Matrix out(rows_, n);
   ParallelFor(rows_, 256, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      double* orow = out.RowPtr(i);
+      double* __restrict orow = out.RowPtr(i);
       for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
         const double v = values_[p];
-        const double* drow = dense.RowPtr(col_idx_[p]);
+        const double* __restrict drow = dense.RowPtr(col_idx_[p]);
         for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
       }
     }
@@ -78,15 +104,33 @@ Matrix SparseMatrix::Spmm(const Matrix& dense) const {
   return out;
 }
 
+const SparseMatrix& SparseMatrix::TransposedView() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (!transpose_cache_) {
+    transpose_cache_ = std::make_shared<const SparseMatrix>(Transpose());
+  }
+  return *transpose_cache_;
+}
+
 Matrix SparseMatrix::SpmmTransposeThis(const Matrix& dense) const {
   GRGAD_CHECK_EQ(rows_, dense.rows());
+  // Two kernels, one accumulation order. With parallelism available, gather
+  // over the cached transpose: output rows partition across the pool (the
+  // scatter direction cannot parallelize without atomics) and the transpose
+  // builds once per operator, then amortizes across training epochs. With a
+  // single lane, the seed's serial scatter wins: its random accesses are
+  // stores, which the store buffer retires off the critical path, while the
+  // gather's random loads stall the FMA chain. Both visit each output
+  // element's terms in ascending source-row order, so the choice (and the
+  // thread count) never changes results bitwise.
+  if (ParallelismDegree() > 1) return TransposedView().Spmm(dense);
   const size_t n = dense.cols();
   Matrix out(cols_, n);
   for (size_t i = 0; i < rows_; ++i) {
-    const double* drow = dense.RowPtr(i);
+    const double* __restrict drow = dense.RowPtr(i);
     for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
       const double v = values_[p];
-      double* orow = out.RowPtr(col_idx_[p]);
+      double* __restrict orow = out.RowPtr(col_idx_[p]);
       for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
     }
   }
@@ -94,14 +138,26 @@ Matrix SparseMatrix::SpmmTransposeThis(const Matrix& dense) const {
 }
 
 SparseMatrix SparseMatrix::Transpose() const {
-  std::vector<Triplet> t;
-  t.reserve(nnz());
+  SparseMatrix out;
+  out.rows_ = cols_;
+  out.cols_ = rows_;
+  out.row_ptr_.assign(cols_ + 1, 0);
+  out.col_idx_.resize(nnz());
+  out.values_.resize(nnz());
+  // Counting sort by destination row. Source entries are visited in (row,
+  // col) order, so each destination row receives its columns (= source rows)
+  // in ascending order — a valid CSR without any sort or duplicate merge.
+  for (int c : col_idx_) ++out.row_ptr_[c + 1];
+  for (size_t r = 1; r <= cols_; ++r) out.row_ptr_[r] += out.row_ptr_[r - 1];
+  std::vector<size_t> cursor(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
-      t.push_back({col_idx_[p], static_cast<int>(i), values_[p]});
+      const size_t q = cursor[col_idx_[p]]++;
+      out.col_idx_[q] = static_cast<int>(i);
+      out.values_[q] = values_[p];
     }
   }
-  return FromTriplets(cols_, rows_, std::move(t));
+  return out;
 }
 
 Matrix SparseMatrix::ToDense() const {
@@ -190,9 +246,15 @@ bool SparseMatrix::ApproxEquals(const SparseMatrix& other, double tol) const {
 SparseMatrix MatMulSparse(const SparseMatrix& a, const SparseMatrix& b,
                           double prune_eps) {
   GRGAD_CHECK_EQ(a.cols(), b.rows());
-  // Gustavson's algorithm with a dense accumulator per row.
+  // Gustavson's algorithm with a dense accumulator per row. An explicit
+  // `seen` mask marks touched columns: the seed keyed on acc[j] == 0.0, which
+  // re-pushed a column whose partial sum transiently cancelled to zero and
+  // emitted it twice. Sorting `touched` per row yields globally (row, col)
+  // sorted triplets, so FromTriplets skips its sort.
   std::vector<Triplet> out;
+  out.reserve(a.nnz() + b.nnz());
   std::vector<double> acc(b.cols(), 0.0);
+  std::vector<uint8_t> seen(b.cols(), 0);
   std::vector<int> touched;
   for (size_t i = 0; i < a.rows(); ++i) {
     touched.clear();
@@ -205,15 +267,20 @@ SparseMatrix MatMulSparse(const SparseMatrix& a, const SparseMatrix& b,
       auto bvals = b.RowValues(k);
       for (size_t q = 0; q < bcols.size(); ++q) {
         const int j = bcols[q];
-        if (acc[j] == 0.0) touched.push_back(j);
+        if (!seen[j]) {
+          seen[j] = 1;
+          touched.push_back(j);
+        }
         acc[j] += av * bvals[q];
       }
     }
+    std::sort(touched.begin(), touched.end());
     for (int j : touched) {
       if (std::fabs(acc[j]) > prune_eps) {
         out.push_back({static_cast<int>(i), j, acc[j]});
       }
       acc[j] = 0.0;
+      seen[j] = 0;
     }
   }
   return SparseMatrix::FromTriplets(a.rows(), b.cols(), std::move(out));

@@ -9,6 +9,8 @@
 #define GRGAD_TENSOR_SPARSE_H_
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -28,6 +30,25 @@ class SparseMatrix {
  public:
   /// Empty 0x0 matrix.
   SparseMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+
+  // Copies share no state; the lazily built transpose cache stays behind
+  // (value-scaling helpers mutate the copy right after copying, which would
+  // invalidate it). Moves keep the cache: the source is abandoned.
+  SparseMatrix(const SparseMatrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        row_ptr_(other.row_ptr_),
+        col_idx_(other.col_idx_),
+        values_(other.values_) {}
+  SparseMatrix& operator=(const SparseMatrix& other);
+  SparseMatrix(SparseMatrix&& other) noexcept
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        row_ptr_(std::move(other.row_ptr_)),
+        col_idx_(std::move(other.col_idx_)),
+        values_(std::move(other.values_)),
+        transpose_cache_(std::move(other.transpose_cache_)) {}
+  SparseMatrix& operator=(SparseMatrix&& other) noexcept;
 
   /// Builds from triplets; duplicates are summed, zeros (after summing) are
   /// kept (callers that care can Prune). Indices must be in range.
@@ -63,11 +84,17 @@ class SparseMatrix {
   /// Sparse * dense -> dense (rows x dense.cols()); parallel over rows.
   Matrix Spmm(const Matrix& dense) const;
 
-  /// this^T * dense -> dense (cols x dense.cols()). Serial scatter; used by
-  /// autograd backward of Spmm.
+  /// this^T * dense -> dense (cols x dense.cols()); used by autograd backward
+  /// of Spmm. Runs as a row-parallel gather over a transposed copy of this
+  /// matrix that is built once (thread-safely) on first call and reused —
+  /// graph operators are fixed across training, so every epoch after the
+  /// first pays only the Spmm. The gather visits source rows in ascending
+  /// order per output row, exactly the seed scatter's accumulation order, so
+  /// results are bitwise identical to the serial reference kernel.
   Matrix SpmmTransposeThis(const Matrix& dense) const;
 
-  /// Transposed copy (CSR of the transpose).
+  /// Transposed copy (CSR of the transpose); O(nnz + rows + cols) counting
+  /// sort, no triplet round-trip.
   SparseMatrix Transpose() const;
 
   /// Dense copy; intended for tests and small matrices.
@@ -91,11 +118,19 @@ class SparseMatrix {
   bool ApproxEquals(const SparseMatrix& other, double tol = 1e-9) const;
 
  private:
+  /// Returns the cached transpose, building it under cache_mu_ if absent.
+  const SparseMatrix& TransposedView() const;
+
   size_t rows_;
   size_t cols_;
   std::vector<size_t> row_ptr_;  // length rows_ + 1
   std::vector<int> col_idx_;     // length nnz
   std::vector<double> values_;   // length nnz
+
+  // Lazily built CSR of the transpose, serving SpmmTransposeThis. Guarded by
+  // cache_mu_; never copied (see copy constructor).
+  mutable std::mutex cache_mu_;
+  mutable std::shared_ptr<const SparseMatrix> transpose_cache_;
 
   friend SparseMatrix MatMulSparse(const SparseMatrix&, const SparseMatrix&,
                                    double);

@@ -1,44 +1,32 @@
 #include "src/util/parallel.h"
 
-#include <cstdlib>
-#include <thread>
-#include <vector>
+#include <algorithm>
+
+#include "src/util/thread_pool.h"
 
 namespace grgad {
 
-int ParallelismDegree() {
-  static const int degree = [] {
-    if (const char* env = std::getenv("GRGAD_THREADS")) {
-      int v = std::atoi(env);
-      if (v >= 1) return v;
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
-  }();
-  return degree;
-}
+// ParallelismDegree() lives in thread_pool.cc next to the pool it sizes.
 
 void ParallelFor(size_t n, size_t min_grain,
                  const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;
+  if (min_grain == 0) min_grain = 1;  // A grain of 0 would divide by zero.
   const int degree = ParallelismDegree();
-  if (degree <= 1 || n < min_grain * 2) {
+  if (degree <= 1 || n < min_grain * 2 || ThreadPool::InParallelRegion()) {
     body(0, n);
     return;
   }
+  // Contiguous deterministic partition: a pure function of (n, min_grain,
+  // degree), never of scheduling. Chunk c covers [c*chunk, min((c+1)*chunk, n)).
   const size_t num_chunks =
       std::min<size_t>(static_cast<size_t>(degree), n / min_grain + 1);
   const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::vector<std::thread> workers;
-  workers.reserve(num_chunks - 1);
-  size_t begin = chunk;  // Chunk 0 runs on the calling thread below.
-  for (size_t c = 1; c < num_chunks && begin < n; ++c) {
-    size_t end = std::min(begin + chunk, n);
-    workers.emplace_back([&body, begin, end] { body(begin, end); });
-    begin = end;
-  }
-  body(0, std::min(chunk, n));
-  for (auto& t : workers) t.join();
+  ThreadPool::Global().RunChunks(num_chunks, [&](size_t c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(begin + chunk, n);
+    if (begin < end) body(begin, end);
+  });
 }
 
 }  // namespace grgad

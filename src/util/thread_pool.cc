@@ -1,0 +1,155 @@
+#include "src/util/thread_pool.h"
+
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace grgad {
+
+namespace {
+
+// Marks pool workers and threads currently inside RunChunks, so nested
+// ParallelFor calls degrade to inline execution instead of deadlocking on the
+// (single-job) pool.
+thread_local bool t_in_parallel_region = false;
+
+std::atomic<int> g_degree_override{0};
+
+int DefaultDegree() {
+  if (const char* env = std::getenv("GRGAD_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// The global pool is held behind a mutex so the test-only degree override can
+// tear it down and rebuild it. Normal code takes this lock once per parallel
+// region, which is noise next to the cv notify.
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;        // Guarded by g_pool_mu.
+int g_pool_degree = -1;                    // Degree the pool was built for.
+
+}  // namespace
+
+int ParallelismDegree() {
+  const int forced = g_degree_override.load(std::memory_order_acquire);
+  if (forced >= 1) return forced;
+  static const int degree = DefaultDegree();
+  return degree;
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  GRGAD_CHECK_GE(num_workers, 0);
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_parallel_region = true;
+  uint64_t last_seq = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_seq_ != last_seq);
+      });
+      if (shutdown_) return;
+      job = job_;
+      last_seq = job_seq_;
+    }
+    RunJobChunks(*job);
+  }
+}
+
+void ThreadPool::RunJobChunks(Job& job) {
+  for (;;) {
+    const size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) return;
+    (*job.fn)(c);
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_chunks) {
+      // Lock before notifying so the completion wait cannot miss the wakeup.
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunChunks(size_t num_chunks,
+                           const std::function<void(size_t)>& fn) {
+  if (num_chunks == 0) return;
+  std::unique_lock<std::mutex> dispatch(dispatch_mu_, std::try_to_lock);
+  if (workers_.empty() || !dispatch.owns_lock() || t_in_parallel_region) {
+    // No lanes, pool busy with another caller's job, or nested call: run
+    // inline. Chunk ranges are identical either way, so results don't change.
+    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_seq_;
+  }
+  cv_.notify_all();
+  t_in_parallel_region = true;
+  RunJobChunks(*job);
+  t_in_parallel_region = false;
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->num_chunks;
+    });
+  }
+  {
+    // Drop the pool's reference so the job (and its pointer into the caller's
+    // frame) cannot outlive this call. Workers that already copied the
+    // shared_ptr have finished: done == num_chunks counts completed bodies,
+    // and stragglers only touch the atomic counters of the (still allocated)
+    // Job before bailing out on the seq check next round.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job_ == job) job_.reset();
+  }
+}
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  const int degree = ParallelismDegree();
+  if (!g_pool || g_pool_degree != degree) {
+    g_pool.reset();  // Join old workers before starting replacements.
+    g_pool = std::make_unique<ThreadPool>(degree - 1);
+    g_pool_degree = degree;
+  }
+  return *g_pool;
+}
+
+namespace internal {
+
+void SetParallelismDegreeForTest(int degree) {
+  GRGAD_CHECK_GE(degree, 0);
+  g_degree_override.store(degree, std::memory_order_release);
+  // Rebuild eagerly so worker count matches the new degree.
+  ThreadPool::Global();
+}
+
+}  // namespace internal
+
+}  // namespace grgad

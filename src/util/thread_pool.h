@@ -1,0 +1,100 @@
+// Persistent worker pool backing ParallelFor.
+//
+// The seed implementation spawned and joined fresh std::threads on every
+// parallel region; at GCN-training call rates (thousands of small matmuls per
+// epoch) thread creation dominated the kernels themselves. This pool starts
+// its workers once (lazily, on the first parallel region), parks them on a
+// condition variable, and hands out chunk indices from an atomic counter, so
+// dispatch costs a notify + a few atomic increments instead of clone()/join().
+//
+// Determinism contract: the pool only distributes *which thread* runs a chunk;
+// the chunk -> index-range mapping is computed by the caller and is a pure
+// function of (n, min_grain, ParallelismDegree()). Kernels built on top keep
+// a fixed per-element accumulation order, so results are bitwise reproducible
+// for a fixed GRGAD_THREADS regardless of scheduling.
+#ifndef GRGAD_UTIL_THREAD_POOL_H_
+#define GRGAD_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grgad {
+
+/// Fixed-size pool of parked worker threads executing chunked jobs.
+///
+/// One job runs at a time; RunChunks blocks until every chunk has executed.
+/// The calling thread participates in the job, so a pool with W workers gives
+/// W + 1 concurrent lanes. Safe to use from any thread, but concurrent
+/// RunChunks callers are serialized by the caller (ParallelFor falls back to
+/// inline execution when the pool is busy, preserving results).
+class ThreadPool {
+ public:
+  /// Starts `num_workers` parked threads (0 is valid: RunChunks runs inline).
+  explicit ThreadPool(int num_workers);
+
+  /// Joins all workers. Must not race with RunChunks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Executes fn(c) for every c in [0, num_chunks), distributing chunks over
+  /// the workers plus the calling thread; returns when all chunks finished.
+  /// fn must not throw. Nested RunChunks calls from inside fn run inline.
+  void RunChunks(size_t num_chunks, const std::function<void(size_t)>& fn);
+
+  /// True when the current thread is a pool worker or is inside RunChunks —
+  /// i.e. further parallel dispatch would deadlock or oversubscribe.
+  static bool InParallelRegion();
+
+  /// Process-wide pool with ParallelismDegree() - 1 workers, created on first
+  /// use. Rebuilt by internal::SetParallelismDegreeForTest.
+  static ThreadPool& Global();
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop();
+  /// Pulls chunks from `job` until exhausted; signals done_cv_ on completion.
+  void RunJobChunks(Job& job);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Job> job_;    // Current job; workers copy under mu_.
+  uint64_t job_seq_ = 0;        // Bumped per job so workers join each once.
+  bool shutdown_ = false;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+
+  // Serializes dispatch; contended callers run their job inline instead.
+  std::mutex dispatch_mu_;
+
+  std::vector<std::thread> workers_;
+};
+
+namespace internal {
+
+/// Test hook: forces ParallelismDegree() to `degree` (0 restores the
+/// GRGAD_THREADS / hardware default) and rebuilds the global pool. Must not
+/// be called while parallel regions are in flight.
+void SetParallelismDegreeForTest(int degree);
+
+}  // namespace internal
+
+}  // namespace grgad
+
+#endif  // GRGAD_UTIL_THREAD_POOL_H_

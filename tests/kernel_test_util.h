@@ -1,0 +1,33 @@
+// Shared helpers for the tensor-kernel determinism tests.
+#ifndef GRGAD_TESTS_KERNEL_TEST_UTIL_H_
+#define GRGAD_TESTS_KERNEL_TEST_UTIL_H_
+
+#include <cstring>
+
+#include "src/tensor/matrix.h"
+#include "src/util/thread_pool.h"
+
+namespace grgad::testing {
+
+/// Exact (bit-for-bit) matrix equality; NaNs compare by representation.
+inline bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// Forces a parallelism degree for the enclosing scope and restores the
+/// GRGAD_THREADS / hardware default on destruction.
+class ScopedDegree {
+ public:
+  explicit ScopedDegree(int degree) {
+    internal::SetParallelismDegreeForTest(degree);
+  }
+  ~ScopedDegree() { internal::SetParallelismDegreeForTest(0); }
+
+  ScopedDegree(const ScopedDegree&) = delete;
+  ScopedDegree& operator=(const ScopedDegree&) = delete;
+};
+
+}  // namespace grgad::testing
+
+#endif  // GRGAD_TESTS_KERNEL_TEST_UTIL_H_

@@ -1,13 +1,18 @@
 // Dense Matrix: construction, arithmetic, reductions, and the three matmul
 // kernels (including agreement between the specialized transpose variants
-// and explicit transposition).
+// and explicit transposition, and determinism of the blocked parallel
+// kernels against the serial reference implementations).
 #include "src/tensor/matrix.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
+#include "src/tensor/reference_kernels.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "tests/kernel_test_util.h"
 
 namespace grgad {
 namespace {
@@ -149,6 +154,86 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
                       std::make_tuple(7, 1, 5), std::make_tuple(16, 8, 2),
                       std::make_tuple(65, 33, 17)));
+
+// ---- blocked-kernel determinism vs the serial reference kernels ----
+
+using ::grgad::testing::BitwiseEqual;
+using ::grgad::testing::ScopedDegree;
+
+// Shapes chosen to exercise full register tiles, row tails, and column tails.
+class KernelReferenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KernelReferenceTest, MatchesSerialReferenceAtDegreeOne) {
+  ScopedDegree degree(1);
+  const auto [m, k, n] = GetParam();
+  Rng rng(91 + m + 3 * k + 7 * n);
+  Matrix a = Matrix::Gaussian(m, k, &rng);
+  Matrix b = Matrix::Gaussian(k, n, &rng);
+  // The blocked MatMul accumulates each output element over k in the same
+  // ascending order as the reference, so agreement is exact, not just 1e-12.
+  EXPECT_TRUE(BitwiseEqual(MatMul(a, b), reference::MatMul(a, b)));
+  EXPECT_TRUE(BitwiseEqual(a.Transpose(), reference::Transpose(a)));
+  Matrix bt = Matrix::Gaussian(n, k, &rng);
+  EXPECT_TRUE(MatMulTransposeB(a, bt).ApproxEquals(
+      reference::MatMulTransposeB(a, bt), 1e-12));
+  Matrix at = Matrix::Gaussian(k, m, &rng);
+  EXPECT_TRUE(MatMulTransposeA(at, b).ApproxEquals(
+      reference::MatMulTransposeA(at, b), 1e-12));
+}
+
+TEST_P(KernelReferenceTest, BitwiseIdenticalAcrossThreadCounts) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(173 + m + 3 * k + 7 * n);
+  Matrix a = Matrix::Gaussian(m, k, &rng);
+  Matrix b = Matrix::Gaussian(k, n, &rng);
+  Matrix serial;
+  {
+    ScopedDegree degree(1);
+    serial = MatMul(a, b);
+  }
+  for (int threads : {2, 4, 8}) {
+    ScopedDegree degree(threads);
+    EXPECT_TRUE(BitwiseEqual(MatMul(a, b), serial)) << threads << " threads";
+    // Repeated runs at a fixed degree must also be bitwise stable.
+    EXPECT_TRUE(BitwiseEqual(MatMul(a, b), MatMul(a, b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelReferenceTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 32, 32),
+                      std::make_tuple(5, 7, 33), std::make_tuple(64, 64, 64),
+                      std::make_tuple(130, 96, 70),
+                      std::make_tuple(33, 128, 257)));
+
+TEST(MatrixTest, MapFnMatchesMapAndGoesParallel) {
+  Rng rng(7);
+  // Large enough to cross the parallel-map threshold.
+  Matrix m = Matrix::Gaussian(260, 260, &rng);
+  ScopedDegree degree(4);
+  Matrix via_fn = m.MapFn([](double v) { return v * 2.0 + 1.0; });
+  Matrix via_std = m.Map([](double v) { return v * 2.0 + 1.0; });
+  EXPECT_TRUE(BitwiseEqual(via_fn, via_std));
+  Matrix in_place = m;
+  in_place.MapInPlaceFn([](double v) { return v * 2.0 + 1.0; });
+  EXPECT_TRUE(BitwiseEqual(in_place, via_fn));
+}
+
+TEST(MatrixTest, MatMulInsideParallelRegionIsSafe) {
+  // Kernels may be invoked from code that is itself inside a ParallelFor;
+  // the nested dispatch must degrade to inline execution, not deadlock.
+  ScopedDegree degree(4);
+  Rng rng(8);
+  Matrix a = Matrix::Gaussian(24, 16, &rng);
+  Matrix b = Matrix::Gaussian(16, 12, &rng);
+  Matrix expected = MatMul(a, b);
+  std::vector<Matrix> results(8);
+  ParallelFor(8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) results[i] = MatMul(a, b);
+  });
+  for (const Matrix& r : results) EXPECT_TRUE(BitwiseEqual(r, expected));
+}
 
 }  // namespace
 }  // namespace grgad

@@ -1,10 +1,16 @@
 // CSR SparseMatrix: construction semantics (dedup, sorting), SpMM kernels,
-// transpose, normalizers, and sparse-sparse products against dense oracles.
+// transpose, normalizers, and sparse-sparse products against dense oracles,
+// plus determinism of the parallel/cached kernels vs the serial references.
 #include "src/tensor/sparse.h"
+
+#include <cstring>
 
 #include <gtest/gtest.h>
 
+#include "src/tensor/reference_kernels.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "tests/kernel_test_util.h"
 
 namespace grgad {
 namespace {
@@ -124,6 +130,74 @@ TEST(SparseTest, MatMulSparsePrunes) {
   SparseMatrix b = SparseMatrix::FromTriplets(1, 1, {{0, 0, 1e-4}});
   EXPECT_EQ(MatMulSparse(a, b, 1e-6).nnz(), 0u);
   EXPECT_EQ(MatMulSparse(a, b, 0.0).nnz(), 1u);
+}
+
+using ::grgad::testing::BitwiseEqual;
+using ::grgad::testing::ScopedDegree;
+
+TEST(SparseTest, SpmmKernelsMatchSerialReferenceBitwise) {
+  SparseMatrix s = RandomSparse(60, 45, 300, 21);
+  Rng rng(22);
+  Matrix x = Matrix::Gaussian(45, 19, &rng);
+  Matrix xt = Matrix::Gaussian(60, 19, &rng);
+  Matrix ref_fwd = reference::Spmm(s, x);
+  Matrix ref_bwd = reference::SpmmTransposeThis(s, xt);
+  for (int threads : {1, 2, 4, 8}) {
+    ScopedDegree degree(threads);
+    // Both the serial scatter path (degree 1) and the cached-transpose
+    // gather path (degree > 1) accumulate every output element's terms in
+    // ascending source-row order: agreement is bitwise, not approximate.
+    EXPECT_TRUE(BitwiseEqual(s.Spmm(x), ref_fwd)) << threads << " threads";
+    EXPECT_TRUE(BitwiseEqual(s.SpmmTransposeThis(xt), ref_bwd))
+        << threads << " threads";
+    // Repeated calls (now served by the transpose cache) stay stable.
+    EXPECT_TRUE(BitwiseEqual(s.SpmmTransposeThis(xt), ref_bwd))
+        << threads << " threads, cached";
+  }
+}
+
+TEST(SparseTest, TransposeCacheSurvivesCopiesCorrectly) {
+  ScopedDegree degree(4);
+  SparseMatrix s = RandomSparse(30, 40, 150, 23);
+  Rng rng(24);
+  Matrix x = Matrix::Gaussian(30, 8, &rng);
+  Matrix base = s.SpmmTransposeThis(x);  // Populates s's transpose cache.
+  // A value-scaled copy must not inherit the stale cached transpose.
+  SparseMatrix doubled = s.Scaled(2.0);
+  EXPECT_TRUE(doubled.SpmmTransposeThis(x).ApproxEquals(base * 2.0, 1e-12));
+  SparseMatrix assigned;
+  assigned = s;
+  SparseMatrix halved = assigned.Scaled(0.5);
+  EXPECT_TRUE(halved.SpmmTransposeThis(x).ApproxEquals(base * 0.5, 1e-12));
+  // Moves may keep the cache: results must be identical before/after.
+  SparseMatrix moved = std::move(assigned);
+  EXPECT_TRUE(BitwiseEqual(moved.SpmmTransposeThis(x), base));
+}
+
+TEST(SparseTest, TransposeTwiceRoundTrips) {
+  SparseMatrix s = RandomSparse(13, 29, 80, 25);
+  EXPECT_TRUE(s.Transpose().Transpose().ApproxEquals(s, 0.0));
+  // Column indices inside each transposed row must be sorted (CSR contract).
+  SparseMatrix t = s.Transpose();
+  for (size_t i = 0; i < t.rows(); ++i) {
+    auto cols = t.RowCols(i);
+    EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+  }
+}
+
+TEST(SparseTest, MatMulSparseHandlesTransientCancellation) {
+  // Row 0 of a*b accumulates +1 then -1 then +1 into column 0: the partial
+  // sum passes through exact 0.0 mid-row, which made the seed's
+  // acc[j] == 0.0 touch-test re-push the column and emit it twice.
+  SparseMatrix a = SparseMatrix::FromTriplets(
+      1, 3, {{0, 0, 1.0}, {0, 1, 1.0}, {0, 2, 1.0}});
+  SparseMatrix b = SparseMatrix::FromTriplets(
+      3, 1, {{0, 0, 1.0}, {1, 0, -1.0}, {2, 0, 1.0}});
+  SparseMatrix product = MatMulSparse(a, b);
+  EXPECT_EQ(product.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(product.At(0, 0), 1.0);
+  EXPECT_TRUE(product.ToDense().ApproxEquals(
+      MatMul(a.ToDense(), b.ToDense()), 1e-12));
 }
 
 // Property: (A B)^T == B^T A^T for sparse products.

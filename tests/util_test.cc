@@ -1,7 +1,10 @@
-// Tests for Status/Result, Rng distributions, CSV, and ParallelFor.
+// Tests for Status/Result, Rng distributions, CSV, ParallelFor, and the
+// persistent thread pool behind it.
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -9,7 +12,9 @@
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
+#include "tests/kernel_test_util.h"
 
 namespace grgad {
 namespace {
@@ -214,6 +219,102 @@ TEST(ParallelTest, EmptyAndTinyRanges) {
     total += static_cast<int>(end - begin);
   });
   EXPECT_EQ(total.load(), 3);
+}
+
+using ::grgad::testing::ScopedDegree;
+
+TEST(ParallelTest, MinGrainZeroIsClamped) {
+  // Regression: the seed computed n / min_grain and died on min_grain == 0.
+  ScopedDegree degree(4);
+  std::vector<std::atomic<int>> hits(10);
+  ParallelFor(10, 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, OversubscribedPoolCoversTinyRange) {
+  // More pool lanes than iterations: every index still runs exactly once.
+  ScopedDegree degree(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(3, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, NestedCallsRunInlineWithoutDeadlock) {
+  ScopedDegree degree(4);
+  std::atomic<int> total{0};
+  ParallelFor(8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      EXPECT_TRUE(ThreadPool::InParallelRegion());
+      ParallelFor(10, 1, [&](size_t inner_begin, size_t inner_end) {
+        total += static_cast<int>(inner_end - inner_begin);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ParallelTest, PoolIsReusedAcrossManySmallCalls) {
+  // The pool must survive thousands of dispatches (the seed spawned and
+  // joined threads per call; the pool parks and re-wakes the same workers).
+  ScopedDegree degree(4);
+  for (int call = 0; call < 2000; ++call) {
+    std::atomic<int> total{0};
+    ParallelFor(64, 4, [&](size_t begin, size_t end) {
+      total += static_cast<int>(end - begin);
+    });
+    ASSERT_EQ(total.load(), 64);
+  }
+}
+
+TEST(ParallelTest, ConcurrentCallersFallBackSafely) {
+  // Two user threads dispatching at once: one takes the pool, the other runs
+  // inline. Both must cover their ranges exactly.
+  ScopedDegree degree(4);
+  std::atomic<int> totals[2] = {{0}, {0}};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 2; ++c) {
+    callers.emplace_back([&, c] {
+      for (int call = 0; call < 200; ++call) {
+        ParallelFor(128, 1, [&](size_t begin, size_t end) {
+          totals[c] += static_cast<int>(end - begin);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(totals[0].load(), 200 * 128);
+  EXPECT_EQ(totals[1].load(), 200 * 128);
+}
+
+TEST(ParallelTest, DegreeOverrideAppliesAndRestores) {
+  {
+    ScopedDegree degree(3);
+    EXPECT_EQ(ParallelismDegree(), 3);
+  }
+  EXPECT_GE(ParallelismDegree(), 1);
+}
+
+TEST(ParallelTest, PartitionIsDeterministicPerDegree) {
+  // The chunk ranges must be a pure function of (n, min_grain, degree).
+  ScopedDegree degree(4);
+  auto partition = [](size_t n, size_t grain) {
+    std::vector<std::pair<size_t, size_t>> chunks(64);
+    std::atomic<size_t> used{0};
+    ParallelFor(n, grain, [&](size_t begin, size_t end) {
+      chunks[used.fetch_add(1)] = {begin, end};
+    });
+    chunks.resize(used.load());
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  for (int run = 0; run < 5; ++run) {
+    EXPECT_EQ(partition(1000, 16), partition(1000, 16));
+  }
 }
 
 TEST(TimerTest, MeasuresElapsed) {
