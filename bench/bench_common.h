@@ -17,15 +17,11 @@
 #include <string>
 #include <vector>
 
-#include "src/baselines/as_gae.h"
-#include "src/baselines/deepfd.h"
-#include "src/baselines/group_extraction.h"
 #include "src/core/evaluation.h"
+#include "src/core/method_registry.h"
 #include "src/core/pipeline.h"
 #include "src/data/registry.h"
-#include "src/gae/comga.h"
-#include "src/gae/deep_ae.h"
-#include "src/gae/dominant.h"
+#include "src/util/check.h"
 #include "src/util/csv.h"
 #include "src/util/timer.h"
 
@@ -58,49 +54,59 @@ inline std::vector<std::string> BenchDatasets() {
   return {"simml", "cora-group", "citeseer-group", "amlpublic", "ethereum"};
 }
 
+/// Builds a bench dataset instance (seeded 42 + offset per bench seed).
+/// Prints the failure and returns false for unknown names.
+inline bool LoadBenchDataset(const std::string& name, Dataset* out,
+                             uint64_t seed = 42) {
+  DatasetOptions options;
+  options.seed = seed;
+  auto result = MakeDataset(name, options);
+  if (!result.ok()) {
+    std::printf("failed to build %s: %s\n", name.c_str(),
+                result.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(result).value();
+  return true;
+}
+
+/// The registry override strings configuring one method for this bench
+/// config ("tpgcl.epochs=30"-style; see core/method_registry.h).
+inline std::vector<std::string> MethodOverrides(const BenchConfig& config,
+                                                const std::string& name) {
+  if (name == "tp-grgad") {
+    return {"mh_gae.epochs=" + std::to_string(config.gae_epochs),
+            "tpgcl.epochs=" + std::to_string(config.tpgcl_epochs),
+            "tpgcl.neg_per_sample=16",
+            "sampler.max_groups=" +
+                std::to_string(config.max_candidate_groups)};
+  }
+  // Every baseline trains its underlying autoencoder for the same budget.
+  return {"epochs=" + std::to_string(config.gae_epochs)};
+}
+
 /// Builds the configured TP-GrGAD options for one (config, seed) pair.
 inline TpGrGadOptions MakeTpGrGadOptions(const BenchConfig& config,
                                          uint64_t seed) {
-  TpGrGadOptions options;
-  options.seed = seed;
-  options.mh_gae.base.epochs = config.gae_epochs;
-  options.tpgcl.epochs = config.tpgcl_epochs;
-  options.tpgcl.neg_per_sample = 16;
-  options.sampler.max_groups = config.max_candidate_groups;
-  options.ReseedStages();
-  return options;
+  auto options =
+      BuildTpGrGadOptions(seed, MethodOverrides(config, "tp-grgad"));
+  GRGAD_CHECK(options.ok());
+  return std::move(options).value();
 }
 
-/// All six Table III methods, freshly constructed per seed.
+/// All six Table III methods, freshly constructed per seed through the
+/// method registry (which applies the historical per-method seed XORs).
 inline std::vector<std::unique_ptr<GroupDetector>> MakeAllMethods(
     const BenchConfig& config, uint64_t seed) {
   std::vector<std::unique_ptr<GroupDetector>> methods;
-  GaeOptions gae;
-  gae.epochs = config.gae_epochs;
-  gae.seed = seed;
-  GroupExtractionOptions extraction;  // N-GAD -> group adapter, 10% nodes.
-  methods.push_back(std::make_unique<NodeScorerGroupAdapter>(
-      std::make_shared<Dominant>(gae), extraction));
-  DeepAeOptions deep_ae;
-  deep_ae.epochs = config.gae_epochs;
-  deep_ae.seed = seed ^ 0x10;
-  methods.push_back(std::make_unique<NodeScorerGroupAdapter>(
-      std::make_shared<DeepAe>(deep_ae), extraction));
-  ComGaOptions comga;
-  comga.epochs = config.gae_epochs;
-  comga.seed = seed ^ 0x20;
-  methods.push_back(std::make_unique<NodeScorerGroupAdapter>(
-      std::make_shared<ComGa>(comga), extraction));
-  DeepFdOptions deepfd;
-  deepfd.epochs = config.gae_epochs;
-  deepfd.seed = seed ^ 0x30;
-  methods.push_back(std::make_unique<DeepFd>(deepfd));
-  AsGaeOptions as_gae;
-  as_gae.gae.epochs = config.gae_epochs;
-  as_gae.gae.seed = seed ^ 0x40;
-  methods.push_back(std::make_unique<AsGae>(as_gae));
-  methods.push_back(
-      std::make_unique<TpGrGad>(MakeTpGrGadOptions(config, seed)));
+  for (const std::string& name : ListMethods()) {
+    MethodOptions method_options;
+    method_options.seed = seed;
+    method_options.overrides = MethodOverrides(config, name);
+    auto method = MakeGroupDetector(name, method_options);
+    GRGAD_CHECK(method.ok());
+    methods.push_back(std::move(method).value());
+  }
   return methods;
 }
 

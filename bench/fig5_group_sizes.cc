@@ -12,18 +12,15 @@ int Run() {
   Banner("Fig. 5: average identified-group size per method");
   CsvWriter csv({"dataset", "method", "avg_size", "ground_truth_avg"});
   for (const std::string& dataset_name : BenchDatasets()) {
-    DatasetOptions data_options;
-    data_options.seed = 42;
-    auto dataset = MakeDataset(dataset_name, data_options);
-    if (!dataset.ok()) return 1;
-    const double gt_size = dataset.value().AverageGroupSize();
+    Dataset dataset;
+    if (!LoadBenchDataset(dataset_name, &dataset)) return 1;
+    const double gt_size = dataset.AverageGroupSize();
     std::printf("\n%s (ground truth avg size %.2f)\n", dataset_name.c_str(),
                 gt_size);
     auto methods = MakeAllMethods(config, 2000);
     for (auto& method : methods) {
       const GroupEvaluation eval =
-          EvaluateGroups(dataset.value(),
-                         method->DetectGroups(dataset.value().graph));
+          EvaluateGroups(dataset, method->DetectGroups(dataset.graph));
       std::printf("  %-10s avg size %6.2f   ", method->Name().c_str(),
                   eval.avg_predicted_size);
       // ASCII bar chart, one '#' per node, capped at 40.

@@ -28,18 +28,17 @@ int Run() {
                   : std::vector<std::string>{"simml", "ethereum"};
   CsvWriter csv({"dataset", "negative_aug", "positive_aug", "f1"});
   for (const std::string& dataset_name : datasets) {
-    DatasetOptions data_options;
-    data_options.seed = 42;
-    auto dataset = MakeDataset(dataset_name, data_options);
-    if (!dataset.ok()) return 1;
-    const Graph& g = dataset.value().graph;
+    Dataset dataset;
+    if (!LoadBenchDataset(dataset_name, &dataset)) return 1;
+    const Graph& g = dataset.graph;
 
     // Stage 1+2 once: anchors and candidate groups are augmentation-free.
     TpGrGadOptions base = MakeTpGrGadOptions(config, 1000);
-    MhGae mh_gae(base.mh_gae);
-    const MhGaeResult gae = mh_gae.FitAnchors(g);
-    GroupSampler sampler(base.sampler);
-    const auto candidates = sampler.Sample(g, gae.anchors);
+    auto anchors = RunAnchorStage(g, base);
+    if (!anchors.ok()) return 1;
+    auto sampled = RunCandidateStage(g, anchors.value().anchors, base);
+    if (!sampled.ok()) return 1;
+    const auto& candidates = sampled.value().groups;
     if (candidates.size() < 2) {
       std::printf("%s: not enough candidates, skipping\n",
                   dataset_name.c_str());
@@ -47,8 +46,7 @@ int Run() {
     }
     // Group-wise ground-truth labels, shared by all cells (same 0.5 Jaccard
     // threshold as EvaluateGroups).
-    const auto match =
-        MatchGroups(dataset.value().anomaly_groups, candidates, 0.5);
+    const auto match = MatchGroups(dataset.anomaly_groups, candidates, 0.5);
 
     std::printf("\n%s (%zu candidates)\n        ", dataset_name.c_str(),
                 candidates.size());

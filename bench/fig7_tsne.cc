@@ -19,18 +19,16 @@ int Run() {
   CsvWriter summary({"dataset", "num_groups", "num_anomalous",
                      "separation_score"});
   for (const std::string& dataset_name : datasets) {
-    DatasetOptions data_options;
-    data_options.seed = 42;
-    auto dataset = MakeDataset(dataset_name, data_options);
-    if (!dataset.ok()) return 1;
+    Dataset dataset;
+    if (!LoadBenchDataset(dataset_name, &dataset)) return 1;
     TpGrGad method(MakeTpGrGadOptions(config, 1000));
-    const PipelineArtifacts artifacts = method.Run(dataset.value().graph);
+    const PipelineArtifacts artifacts = method.Run(dataset.graph);
     if (artifacts.candidate_groups.size() < 4) {
       std::printf("%s: too few candidates, skipping\n", dataset_name.c_str());
       continue;
     }
-    const auto match = MatchGroups(dataset.value().anomaly_groups,
-                                   artifacts.candidate_groups, 0.5);
+    const auto match =
+        MatchGroups(dataset.anomaly_groups, artifacts.candidate_groups, 0.5);
     std::vector<int> labels(artifacts.candidate_groups.size(), 0);
     int anomalous = 0;
     for (size_t i = 0; i < labels.size(); ++i) {

@@ -7,7 +7,9 @@
 #include <numeric>
 
 #include "bench/bench_common.h"
-#include "src/data/example_graph.h"
+#include "src/gae/comga.h"
+#include "src/gae/deep_ae.h"
+#include "src/gae/dominant.h"
 #include "src/gae/mh_gae.h"
 #include "src/graph/algorithms.h"
 #include "src/metrics/classification.h"
@@ -18,9 +20,8 @@ namespace {
 int Run() {
   const BenchConfig config = BenchConfig::FromEnv();
   Banner("Fig. 8: GAE-based detectors on the example graph");
-  DatasetOptions data_options;
-  data_options.seed = 42;
-  const Dataset d = GenExampleGraph(data_options);
+  Dataset d;
+  if (!LoadBenchDataset("example", &d)) return 1;
   const auto labels = d.NodeLabels();
   const int num_anomalous = std::accumulate(labels.begin(), labels.end(), 0);
   std::printf("example graph: %d nodes, %d edges, %zu planted groups "

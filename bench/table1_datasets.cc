@@ -31,15 +31,8 @@ int Run() {
                  "avg_size", "paper_nodes", "paper_edges", "paper_groups",
                  "paper_avg_size"});
   for (const PaperRow& row : kPaperRows) {
-    DatasetOptions options;
-    options.seed = 42;
-    auto result = MakeDataset(row.name, options);
-    if (!result.ok()) {
-      std::printf("failed to build %s: %s\n", row.name,
-                  result.status().ToString().c_str());
-      return 1;
-    }
-    const Dataset& d = result.value();
+    Dataset d;
+    if (!LoadBenchDataset(row.name, &d)) return 1;
     std::printf("%-16s %9d (%6d) %9d (%6d) %8zu %6zu (%3d) %10.2f (%5.2f)\n",
                 row.name, d.graph.num_nodes(), row.nodes, d.graph.num_edges(),
                 row.edges, d.graph.attr_dim(), d.anomaly_groups.size(),

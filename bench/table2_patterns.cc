@@ -24,11 +24,8 @@ int Run() {
   CsvWriter csv({"dataset", "paths", "trees", "cycles", "mixed", "total",
                  "paper_paths", "paper_trees", "paper_cycles"});
   for (const PaperRow& row : kPaperRows) {
-    DatasetOptions options;
-    options.seed = 42;
-    auto result = MakeDataset(row.name, options);
-    if (!result.ok()) return 1;
-    const Dataset& d = result.value();
+    Dataset d;
+    if (!LoadBenchDataset(row.name, &d)) return 1;
     int counts[4] = {0, 0, 0, 0};
     for (const auto& group : d.anomaly_groups) {
       const Graph sub = d.graph.InducedSubgraph(group);

@@ -25,16 +25,14 @@ int Run() {
     std::vector<std::string> names(num_methods);
     std::vector<double> seconds(num_methods, 0.0);
     for (int s = 0; s < config.seeds; ++s) {
-      DatasetOptions data_options;
-      data_options.seed = 42 + s;
-      auto dataset = MakeDataset(dataset_name, data_options);
-      if (!dataset.ok()) return 1;
+      Dataset dataset;
+      if (!LoadBenchDataset(dataset_name, &dataset, 42 + s)) return 1;
       auto methods = MakeAllMethods(config, 1000 + s * 17);
       for (size_t m = 0; m < methods.size(); ++m) {
         Timer timer;
-        const auto groups = methods[m]->DetectGroups(dataset.value().graph);
+        const auto groups = methods[m]->DetectGroups(dataset.graph);
         seconds[m] += timer.ElapsedSeconds();
-        evals[m].push_back(EvaluateGroups(dataset.value(), groups));
+        evals[m].push_back(EvaluateGroups(dataset, groups));
         names[m] = methods[m]->Name();
       }
     }

@@ -17,10 +17,8 @@ int Run() {
   std::printf("\n");
   CsvWriter csv({"dataset", "target", "cr"});
   for (const std::string& dataset_name : BenchDatasets()) {
-    DatasetOptions data_options;
-    data_options.seed = 42;
-    auto dataset = MakeDataset(dataset_name, data_options);
-    if (!dataset.ok()) return 1;
+    Dataset dataset;
+    if (!LoadBenchDataset(dataset_name, &dataset)) return 1;
     std::printf("%-16s", dataset_name.c_str());
     std::fflush(stdout);
     for (ReconTarget target : targets) {
@@ -28,8 +26,7 @@ int Run() {
       options.mh_gae.base.target = target;
       TpGrGad method(options);
       const GroupEvaluation eval =
-          EvaluateGroups(dataset.value(),
-                         method.DetectGroups(dataset.value().graph));
+          EvaluateGroups(dataset, method.DetectGroups(dataset.graph));
       std::printf("%9.3f", eval.cr);
       std::fflush(stdout);
       csv.AppendRow({dataset_name, ToString(target), FormatDouble(eval.cr)});

@@ -13,18 +13,15 @@ int Run() {
   std::printf("%-16s %18s %14s\n", "Dataset", "w/o TPGCL", "TP-GrGAD");
   CsvWriter csv({"dataset", "variant", "f1", "cr", "auc"});
   for (const std::string& dataset_name : BenchDatasets()) {
-    DatasetOptions data_options;
-    data_options.seed = 42;
-    auto dataset = MakeDataset(dataset_name, data_options);
-    if (!dataset.ok()) return 1;
+    Dataset dataset;
+    if (!LoadBenchDataset(dataset_name, &dataset)) return 1;
     double f1[2] = {0.0, 0.0};
     for (int variant = 0; variant < 2; ++variant) {
       TpGrGadOptions options = MakeTpGrGadOptions(config, 1000);
       options.disable_tpgcl = (variant == 0);
       TpGrGad method(options);
       const GroupEvaluation eval =
-          EvaluateGroups(dataset.value(),
-                         method.DetectGroups(dataset.value().graph));
+          EvaluateGroups(dataset, method.DetectGroups(dataset.graph));
       f1[variant] = eval.f1;
       csv.AppendRow({dataset_name, variant == 0 ? "without_tpgcl" : "full",
                      FormatDouble(eval.f1), FormatDouble(eval.cr),

@@ -1,10 +1,11 @@
 // Quickstart: run TP-GrGAD end to end on a small synthetic graph with three
 // planted anomaly groups and print what it finds.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/example_quickstart
 //
 // Walks through the public API in the order a new user meets it: build (or
-// load) an attributed Graph, configure TpGrGadOptions, call Run(), and
+// load) an attributed Graph, configure TpGrGadOptions, run the pipeline
+// through a RunContext (progress + per-stage timing + cancellation), and
 // inspect the scored groups and intermediate artifacts.
 #include <algorithm>
 #include <cstdio>
@@ -27,7 +28,8 @@ int main() {
 
   // 2. Configure the pipeline. Defaults follow the paper (2-layer GCNs,
   //    64-d embeddings, top-10%% anchors, ECOD detector); we shrink the
-  //    network a little for this toy graph.
+  //    network a little for this toy graph. Setting `seed` is enough —
+  //    TpGrGad's constructor propagates it into every stage.
   TpGrGadOptions options;
   options.seed = 7;
   options.mh_gae.base.hidden_dim = 32;
@@ -35,12 +37,27 @@ int main() {
   options.mh_gae.anchor_fraction = 0.15;
   options.tpgcl.hidden_dim = 32;
   options.tpgcl.embed_dim = 16;
-  options.ReseedStages();
 
-  // 3. Run. Run() exposes every stage; DetectGroups() returns just the
-  //    scored groups.
+  // 3. Run through a RunContext: progress events as each stage starts and
+  //    finishes, per-stage wall times afterwards, and ctx.RequestCancel()
+  //    (e.g. from a signal handler) stops the run cooperatively. TryRun
+  //    reports bad input as a Status; DetectGroups() returns just the
+  //    scored groups when none of this is needed.
   TpGrGad detector(options);
-  const PipelineArtifacts artifacts = detector.Run(dataset.graph);
+  RunContext ctx;
+  // Timings go to stderr so stdout stays byte-identical across runs.
+  ctx.on_progress = [](const StageEvent& event) {
+    if (event.finished) {
+      std::fprintf(stderr, "  [%s stage: %.2fs]\n", event.stage.c_str(),
+                   event.seconds);
+    }
+  };
+  auto result = detector.TryRun(dataset.graph, &ctx);
+  if (!result.ok()) {
+    std::printf("pipeline failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineArtifacts& artifacts = result.value();
   std::printf("stage 1: %zu anchor nodes\n", artifacts.anchors.size());
   std::printf("stage 2: %zu candidate groups\n",
               artifacts.candidate_groups.size());

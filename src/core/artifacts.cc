@@ -1,0 +1,334 @@
+#include "src/core/artifacts.h"
+
+#include "src/core/options.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace grgad {
+namespace {
+
+constexpr int kFormatVersion = 1;
+constexpr const char* kManifestFile = "manifest.txt";
+
+// 17 significant digits round-trip any finite double exactly.
+std::string FormatExact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << content;
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string JoinInts(const std::vector<int>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ' ';
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+Status SaveDoubles(const std::vector<double>& v, const std::string& path) {
+  std::string content;
+  for (double x : v) {
+    content += FormatExact(x);
+    content += '\n';
+  }
+  return WriteFile(path, content);
+}
+
+Result<std::vector<double>> LoadDoubles(const std::string& path) {
+  auto content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  std::istringstream in(content.value());
+  std::vector<double> out;
+  std::string token;
+  while (in >> token) {
+    errno = 0;
+    char* end = nullptr;
+    const double x = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad double '" + token + "' in " + path);
+    }
+    out.push_back(x);
+  }
+  return out;
+}
+
+Result<std::vector<int>> ParseInts(const std::string& line,
+                                   const std::string& path) {
+  std::istringstream in(line);
+  std::vector<int> out;
+  std::string token;
+  while (in >> token) {
+    errno = 0;
+    char* end = nullptr;
+    const long long x = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
+        x < INT_MIN || x > INT_MAX) {
+      return Status::InvalidArgument("bad integer '" + token + "' in " + path);
+    }
+    out.push_back(static_cast<int>(x));
+  }
+  return out;
+}
+
+// One group per line; a leading count line distinguishes "no groups" from
+// "one empty group".
+Status SaveGroupLines(const std::vector<std::vector<int>>& groups,
+                      const std::string& path) {
+  std::string content = std::to_string(groups.size()) + "\n";
+  for (const auto& group : groups) {
+    content += JoinInts(group);
+    content += '\n';
+  }
+  return WriteFile(path, content);
+}
+
+Result<std::vector<std::vector<int>>> LoadGroupLines(const std::string& path) {
+  auto content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  std::istringstream in(content.value());
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing count line in " + path);
+  }
+  auto count = ParseInts(line, path);
+  if (!count.ok()) return count.status();
+  if (count.value().size() != 1 || count.value()[0] < 0) {
+    return Status::InvalidArgument("bad count line in " + path);
+  }
+  // No reserve: an absurd count line fails on the missing rows below
+  // instead of attempting a giant allocation.
+  std::vector<std::vector<int>> groups;
+  for (int i = 0; i < count.value()[0]; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated group file " + path);
+    }
+    auto group = ParseInts(line, path);
+    if (!group.ok()) return group.status();
+    groups.push_back(std::move(group).value());
+  }
+  return groups;
+}
+
+Status SaveMatrix(const Matrix& m, const std::string& path) {
+  std::string content =
+      std::to_string(m.rows()) + " " + std::to_string(m.cols()) + "\n";
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (j) content += ' ';
+      content += FormatExact(m(i, j));
+    }
+    content += '\n';
+  }
+  return WriteFile(path, content);
+}
+
+Result<Matrix> LoadMatrix(const std::string& path) {
+  auto content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  std::istringstream in(content.value());
+  long long rows = 0, cols = 0;
+  if (!(in >> rows >> cols)) {
+    return Status::InvalidArgument("missing dims line in " + path);
+  }
+  // Guard the allocation: dims come from an untrusted file.
+  constexpr long long kMaxElements = 1LL << 28;  // 256M doubles = 2 GiB.
+  if (rows < 0 || cols < 0 || (cols > 0 && rows > kMaxElements / cols)) {
+    return Status::InvalidArgument("implausible dims " + std::to_string(rows) +
+                                   "x" + std::to_string(cols) + " in " + path);
+  }
+  Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      std::string token;
+      if (!(in >> token)) {
+        return Status::InvalidArgument("truncated matrix file " + path);
+      }
+      char* end = nullptr;
+      m(i, j) = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double '" + token + "' in " +
+                                       path);
+      }
+    }
+  }
+  return m;
+}
+
+std::string PathIn(const std::string& dir, const char* file) {
+  return (std::filesystem::path(dir) / file).string();
+}
+
+}  // namespace
+
+Status SaveArtifacts(const PipelineArtifacts& artifacts,
+                     const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
+
+  std::string manifest;
+  manifest += "grgad_artifacts_version " + std::to_string(kFormatVersion);
+  manifest += "\nseed " + std::to_string(artifacts.seed);
+  manifest += "\nnum_anchors " + std::to_string(artifacts.anchors.size());
+  manifest +=
+      "\nnum_groups " + std::to_string(artifacts.candidate_groups.size());
+  manifest += "\nembedding_dim " +
+              std::to_string(artifacts.group_embeddings.cols()) + "\n";
+  GRGAD_RETURN_IF_ERROR(WriteFile(PathIn(dir, kManifestFile), manifest));
+
+  GRGAD_RETURN_IF_ERROR(WriteFile(PathIn(dir, "anchors.txt"),
+                                  JoinInts(artifacts.anchors) + "\n"));
+  GRGAD_RETURN_IF_ERROR(
+      SaveGroupLines(artifacts.candidate_groups, PathIn(dir, "groups.txt")));
+  GRGAD_RETURN_IF_ERROR(
+      SaveMatrix(artifacts.group_embeddings, PathIn(dir, "embeddings.txt")));
+  GRGAD_RETURN_IF_ERROR(
+      SaveDoubles(artifacts.group_scores, PathIn(dir, "scores.txt")));
+  // Scored groups are stored on their own (not rebuilt from groups+scores):
+  // partial runs legitimately have scored_groups without group_scores.
+  std::string scored;
+  scored += std::to_string(artifacts.scored_groups.size());
+  scored += '\n';
+  for (const ScoredGroup& sg : artifacts.scored_groups) {
+    scored += FormatExact(sg.score);
+    for (int v : sg.nodes) {
+      scored += ' ';
+      scored += std::to_string(v);
+    }
+    scored += '\n';
+  }
+  GRGAD_RETURN_IF_ERROR(WriteFile(PathIn(dir, "scored_groups.txt"), scored));
+  GRGAD_RETURN_IF_ERROR(SaveDoubles(artifacts.gae_node_errors,
+                                    PathIn(dir, "node_errors.txt")));
+  GRGAD_RETURN_IF_ERROR(SaveDoubles(artifacts.tpgcl_loss_history,
+                                    PathIn(dir, "tpgcl_loss.txt")));
+  return Status::Ok();
+}
+
+Result<PipelineArtifacts> LoadArtifacts(const std::string& dir) {
+  const std::string manifest_path = PathIn(dir, kManifestFile);
+  if (!std::filesystem::exists(manifest_path)) {
+    return Status::NotFound("no artifact manifest at " + manifest_path);
+  }
+  auto manifest = ReadFile(manifest_path);
+  if (!manifest.ok()) return manifest.status();
+  PipelineArtifacts artifacts;
+  {
+    std::istringstream in(manifest.value());
+    std::string key;
+    int version = -1;
+    if (!(in >> key >> version) || key != "grgad_artifacts_version") {
+      return Status::InvalidArgument("malformed manifest " + manifest_path);
+    }
+    if (version != kFormatVersion) {
+      return Status::InvalidArgument(
+          "unsupported artifact version " + std::to_string(version) + " in " +
+          manifest_path);
+    }
+    std::string value;
+    while (in >> key >> value) {
+      if (key == "seed") {
+        if (!ParseUint64Text(value, &artifacts.seed)) {
+          return Status::InvalidArgument("bad seed '" + value + "' in " +
+                                         manifest_path);
+        }
+      }
+      // Remaining manifest entries (counts, dims) are informational.
+    }
+  }
+  {
+    auto content = ReadFile(PathIn(dir, "anchors.txt"));
+    if (!content.ok()) return content.status();
+    auto anchors = ParseInts(content.value(), PathIn(dir, "anchors.txt"));
+    if (!anchors.ok()) return anchors.status();
+    artifacts.anchors = std::move(anchors).value();
+  }
+  {
+    auto groups = LoadGroupLines(PathIn(dir, "groups.txt"));
+    if (!groups.ok()) return groups.status();
+    artifacts.candidate_groups = std::move(groups).value();
+  }
+  {
+    auto m = LoadMatrix(PathIn(dir, "embeddings.txt"));
+    if (!m.ok()) return m.status();
+    artifacts.group_embeddings = std::move(m).value();
+  }
+  {
+    auto scores = LoadDoubles(PathIn(dir, "scores.txt"));
+    if (!scores.ok()) return scores.status();
+    artifacts.group_scores = std::move(scores).value();
+  }
+  {
+    const std::string path = PathIn(dir, "scored_groups.txt");
+    auto content = ReadFile(path);
+    if (!content.ok()) return content.status();
+    std::istringstream in(content.value());
+    std::string line;
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("missing count line in " + path);
+    }
+    auto count_line = ParseInts(line, path);
+    if (!count_line.ok()) return count_line.status();
+    if (count_line.value().size() != 1 || count_line.value()[0] < 0) {
+      return Status::InvalidArgument("bad count line in " + path);
+    }
+    const int count = count_line.value()[0];
+    for (int i = 0; i < count; ++i) {
+      if (!std::getline(in, line)) {
+        return Status::InvalidArgument("truncated scored-group file " + path);
+      }
+      std::istringstream row(line);
+      ScoredGroup sg;
+      std::string score_token;
+      if (!(row >> score_token)) {
+        return Status::InvalidArgument("empty scored-group row in " + path);
+      }
+      char* end = nullptr;
+      sg.score = std::strtod(score_token.c_str(), &end);
+      if (end == score_token.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad score '" + score_token + "' in " +
+                                       path);
+      }
+      int v;
+      while (row >> v) sg.nodes.push_back(v);
+      artifacts.scored_groups.push_back(std::move(sg));
+    }
+  }
+  {
+    auto errors = LoadDoubles(PathIn(dir, "node_errors.txt"));
+    if (!errors.ok()) return errors.status();
+    artifacts.gae_node_errors = std::move(errors).value();
+  }
+  {
+    auto loss = LoadDoubles(PathIn(dir, "tpgcl_loss.txt"));
+    if (!loss.ok()) return loss.status();
+    artifacts.tpgcl_loss_history = std::move(loss).value();
+  }
+  return artifacts;
+}
+
+}  // namespace grgad

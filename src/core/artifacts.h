@@ -1,0 +1,48 @@
+// The pipeline's stage outputs, and their persistence.
+//
+// PipelineArtifacts is everything a TP-GrGAD run produces, stage by stage.
+// Save/Load round-trip a run to a directory of small text files so a later
+// process can resume from any intermediate product — most usefully,
+// re-scoring saved TPGCL embeddings with a different outlier detector
+// (RescoreArtifacts in stages.h) without re-training anything. All floating
+// point values are written with 17 significant digits, which round-trips
+// IEEE-754 doubles exactly: reloaded artifacts score bit-identically.
+#ifndef GRGAD_CORE_ARTIFACTS_H_
+#define GRGAD_CORE_ARTIFACTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace grgad {
+
+/// Everything the pipeline produces, stage by stage.
+struct PipelineArtifacts {
+  /// Provenance: the pipeline seed of the run that produced these (recorded
+  /// in the manifest so a later rescore can reproduce detector seeding).
+  uint64_t seed = 42;
+  std::vector<int> anchors;
+  std::vector<std::vector<int>> candidate_groups;
+  Matrix group_embeddings;          ///< m x embed (or m x attr_dim w/o TPGCL).
+  std::vector<double> group_scores; ///< Detector output, aligned to groups.
+  std::vector<ScoredGroup> scored_groups;
+  std::vector<double> gae_node_errors;
+  std::vector<double> tpgcl_loss_history;
+};
+
+/// Writes `artifacts` under `dir` (created if missing): a manifest plus one
+/// file per field. Existing artifact files in `dir` are overwritten.
+Status SaveArtifacts(const PipelineArtifacts& artifacts,
+                     const std::string& dir);
+
+/// Loads a directory written by SaveArtifacts. Fails with NotFound when no
+/// manifest is present and IoError/InvalidArgument on malformed files. The
+/// result compares field-for-field identical to what was saved.
+Result<PipelineArtifacts> LoadArtifacts(const std::string& dir);
+
+}  // namespace grgad
+
+#endif  // GRGAD_CORE_ARTIFACTS_H_

@@ -1,0 +1,149 @@
+#include "src/core/options.h"
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+namespace grgad {
+namespace {
+
+Status BadValue(const std::string& key, const std::string& value,
+                const char* expected) {
+  return Status::InvalidArgument("option " + key + ": cannot parse '" + value +
+                                 "' as " + expected);
+}
+
+Result<long long> ParseIntValue(const std::string& key,
+                                const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    return BadValue(key, value, "an integer");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+bool ParseUint64Text(const std::string& text, uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  // strtoull silently wraps "-1" to 2^64-1; reject signs outright.
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseDoubleText(const std::string& text, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  // Overflow to +-inf is a typo, not a configuration; underflow to
+  // 0/denormal is accepted.
+  if (errno == ERANGE && std::isinf(parsed)) return false;
+  *out = parsed;
+  return true;
+}
+
+void OptionMap::Add(const std::string& key, int* field) {
+  setters_[key] = [key, field](const std::string& value) {
+    auto parsed = ParseIntValue(key, value);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed.value() < INT_MIN || parsed.value() > INT_MAX) {
+      return BadValue(key, value, "an int");
+    }
+    *field = static_cast<int>(parsed.value());
+    return Status::Ok();
+  };
+}
+
+void OptionMap::Add(const std::string& key, double* field) {
+  setters_[key] = [key, field](const std::string& value) {
+    if (!ParseDoubleText(value, field)) {
+      return BadValue(key, value, "a finite number");
+    }
+    return Status::Ok();
+  };
+}
+
+void OptionMap::Add(const std::string& key, bool* field) {
+  setters_[key] = [key, field](const std::string& value) {
+    if (value == "true" || value == "1") {
+      *field = true;
+    } else if (value == "false" || value == "0") {
+      *field = false;
+    } else {
+      return BadValue(key, value, "a bool (true/false/1/0)");
+    }
+    return Status::Ok();
+  };
+}
+
+void OptionMap::Add(const std::string& key, uint64_t* field) {
+  setters_[key] = [key, field](const std::string& value) {
+    if (!ParseUint64Text(value, field)) {
+      return BadValue(key, value, "an unsigned integer");
+    }
+    return Status::Ok();
+  };
+}
+
+void OptionMap::Add(const std::string& key, int64_t* field) {
+  setters_[key] = [key, field](const std::string& value) {
+    auto parsed = ParseIntValue(key, value);
+    if (!parsed.ok()) return parsed.status();
+    *field = parsed.value();
+    return Status::Ok();
+  };
+}
+
+void OptionMap::Add(const std::string& key,
+                    std::function<Status(const std::string&)> setter) {
+  setters_[key] = std::move(setter);
+}
+
+Status OptionMap::Set(const std::string& key, const std::string& value) const {
+  const auto it = setters_.find(key);
+  if (it == setters_.end()) {
+    std::string known;
+    for (const auto& [k, unused] : setters_) {
+      if (!known.empty()) known += ", ";
+      known += k;
+    }
+    return Status::InvalidArgument("unknown option '" + key +
+                                   "'; known options: " + known);
+  }
+  return it->second(value);
+}
+
+Status OptionMap::Apply(const std::string& assignment) const {
+  const size_t eq = assignment.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("option override '" + assignment +
+                                   "' is not of the form key=value");
+  }
+  return Set(assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+Status OptionMap::ApplyAll(const std::vector<std::string>& assignments) const {
+  for (const std::string& assignment : assignments) {
+    GRGAD_RETURN_IF_ERROR(Apply(assignment));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> OptionMap::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(setters_.size());
+  for (const auto& [key, unused] : setters_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace grgad

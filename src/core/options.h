@@ -1,0 +1,63 @@
+// String-keyed option overrides ("tpgcl.epochs=30") for benches, tests, and
+// the grgad CLI.
+//
+// An OptionMap binds dotted string keys to fields of a live options struct;
+// Apply() then parses "key=value" assignments into those fields with typed
+// validation. Each method in the registry exposes its own binding (see
+// method_registry.h), so callers configure any method entirely with
+// strings — no hand-wired per-struct setup. Unknown keys and malformed
+// values come back as InvalidArgument listing what went wrong.
+#ifndef GRGAD_CORE_OPTIONS_H_
+#define GRGAD_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace grgad {
+
+/// Strict numeric text parsing shared by OptionMap and the CLI: the whole
+/// string must parse, overflow is rejected, and (for the unsigned variant)
+/// so are negative values that strtoull would silently wrap. Returns false
+/// on any failure, leaving *out untouched.
+bool ParseUint64Text(const std::string& text, uint64_t* out);
+bool ParseDoubleText(const std::string& text, double* out);
+
+/// Key -> typed-setter table over a borrowed options struct. The struct
+/// must outlive the map.
+class OptionMap {
+ public:
+  /// Binds `key` to a field; Set() parses the value with the matching type.
+  void Add(const std::string& key, int* field);
+  void Add(const std::string& key, double* field);
+  void Add(const std::string& key, bool* field);
+  void Add(const std::string& key, uint64_t* field);  // also covers size_t
+  void Add(const std::string& key, int64_t* field);
+  /// Binds `key` to a custom parser (enums etc.).
+  void Add(const std::string& key,
+           std::function<Status(const std::string&)> setter);
+
+  /// Parses `value` into the field bound to `key`. InvalidArgument for
+  /// unknown keys (message lists the known ones) or unparsable values.
+  Status Set(const std::string& key, const std::string& value) const;
+
+  /// Applies one "key=value" assignment.
+  Status Apply(const std::string& assignment) const;
+
+  /// Applies assignments in order; stops at the first error.
+  Status ApplyAll(const std::vector<std::string>& assignments) const;
+
+  /// All bound keys, sorted.
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::function<Status(const std::string&)>> setters_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_CORE_OPTIONS_H_

@@ -4,72 +4,40 @@
 
 namespace grgad {
 
-void TpGrGadOptions::ReseedStages() {
-  mh_gae.base.seed = seed ^ 0x1;
-  tpgcl.seed = seed ^ 0x2;
+TpGrGad::TpGrGad(TpGrGadOptions options) : options_(std::move(options)) {
+  // ReseedStages() footgun fix: callers who set `seed` but forgot to call
+  // ReseedStages() used to silently train every stage with the default
+  // stage seeds. Propagate automatically — but only into stage seeds still
+  // holding their defaults, so explicit per-stage seeding wins, and only
+  // when `seed` itself was changed, so default-options runs reproduce the
+  // historical output bit-for-bit.
+  const TpGrGadOptions defaults;
+  if (options_.seed != defaults.seed) {
+    if (options_.mh_gae.base.seed == defaults.mh_gae.base.seed) {
+      options_.mh_gae.base.seed = options_.seed ^ 0x1;
+    }
+    if (options_.tpgcl.seed == defaults.tpgcl.seed) {
+      options_.tpgcl.seed = options_.seed ^ 0x2;
+    }
+  }
 }
-
-TpGrGad::TpGrGad(TpGrGadOptions options) : options_(options) {}
 
 PipelineArtifacts TpGrGad::Run(const Graph& g) const {
   GRGAD_CHECK(g.has_attributes());
   PipelineArtifacts artifacts;
-
-  // --- Stage 1: anchor localization (MH-GAE). ---
-  MhGae mh_gae(options_.mh_gae);
-  MhGaeResult gae = mh_gae.FitAnchors(g);
-  artifacts.anchors = gae.anchors;
-  artifacts.gae_node_errors = std::move(gae.gae.node_errors);
-  GRGAD_LOG(kDebug) << "pipeline: " << artifacts.anchors.size()
-                    << " anchors selected";
-
-  // --- Stage 2: candidate group sampling (Alg. 1). ---
-  GroupSampler sampler(options_.sampler);
-  artifacts.candidate_groups = sampler.Sample(g, artifacts.anchors);
-  GRGAD_LOG(kDebug) << "pipeline: " << artifacts.candidate_groups.size()
-                    << " candidate groups";
-  if (artifacts.candidate_groups.size() < 2) {
-    // Not enough candidates to contrast; emit them unscored.
-    for (const auto& group : artifacts.candidate_groups) {
-      artifacts.scored_groups.push_back({group, 0.0});
-    }
-    return artifacts;
-  }
-
-  // --- Stage 3: group embeddings (TPGCL, or raw mean pooling for the
-  // Table V ablation). ---
-  if (options_.disable_tpgcl) {
-    const int m = static_cast<int>(artifacts.candidate_groups.size());
-    Matrix pooled(m, g.attr_dim());
-    for (int i = 0; i < m; ++i) {
-      const auto& group = artifacts.candidate_groups[i];
-      for (int v : group) {
-        const double* row = g.attributes().RowPtr(v);
-        for (size_t j = 0; j < g.attr_dim(); ++j) pooled(i, j) += row[j];
-      }
-      for (size_t j = 0; j < g.attr_dim(); ++j) {
-        pooled(i, j) /= static_cast<double>(group.size());
-      }
-    }
-    artifacts.group_embeddings = std::move(pooled);
-  } else {
-    Tpgcl tpgcl(options_.tpgcl);
-    TpgclResult result = tpgcl.FitEmbed(g, artifacts.candidate_groups);
-    artifacts.group_embeddings = std::move(result.embeddings);
-    artifacts.tpgcl_loss_history = std::move(result.loss_history);
-  }
-
-  // --- Stage 4: outlier scoring over group embeddings. ---
-  auto detector = MakeOutlierDetector(options_.detector, options_.seed ^ 0x3);
-  GRGAD_CHECK(detector != nullptr);
-  artifacts.group_scores = detector->FitScore(artifacts.group_embeddings);
-
-  artifacts.scored_groups.reserve(artifacts.candidate_groups.size());
-  for (size_t i = 0; i < artifacts.candidate_groups.size(); ++i) {
-    artifacts.scored_groups.push_back(
-        {artifacts.candidate_groups[i], artifacts.group_scores[i]});
+  const Status status = RunPipelineInto(g, options_, nullptr, &artifacts);
+  // FailedPrecondition (no anchors / nothing to contrast) keeps the
+  // historical contract: return whatever the stages produced, unscored.
+  if (!status.ok() && status.code() != StatusCode::kFailedPrecondition) {
+    GRGAD_LOG(kError) << "TpGrGad::Run: " << status.ToString();
+    GRGAD_CHECK(status.ok());
   }
   return artifacts;
+}
+
+Result<PipelineArtifacts> TpGrGad::TryRun(const Graph& g,
+                                          RunContext* ctx) const {
+  return RunPipeline(g, options_, ctx);
 }
 
 std::vector<ScoredGroup> TpGrGad::DetectGroups(const Graph& g) const {

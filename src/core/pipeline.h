@@ -4,55 +4,43 @@
 //         --TPGCL (PPA/PBA + MINE)--> 64-d group embeddings
 //         --outlier detector (ECOD)--> anomaly scores per group.
 //
-// TpGrGad implements the GroupDetector interface; Run() additionally exposes
-// every intermediate artifact for the ablation benches (Tables IV/V, Figs
-// 6/7).
+// TpGrGad implements the GroupDetector interface as a thin driver over the
+// Engine stages in stages.h. Run() keeps the historical contract (aborts on
+// programmer error, returns partial artifacts when there is nothing to
+// contrast); TryRun() is the fallible entry point — bad input or mid-run
+// cancellation comes back as a Status — and additionally threads a
+// RunContext through every stage for cancellation, progress callbacks, and
+// per-stage telemetry. Callers who need to start mid-pipeline (e.g. rescore
+// saved embeddings with a different detector) use stages.h directly.
 #ifndef GRGAD_CORE_PIPELINE_H_
 #define GRGAD_CORE_PIPELINE_H_
 
-#include <memory>
-
 #include "src/core/group_detector.h"
-#include "src/gae/mh_gae.h"
-#include "src/gcl/tpgcl.h"
-#include "src/od/detector.h"
-#include "src/sampling/group_sampler.h"
+#include "src/core/stages.h"
 
 namespace grgad {
-
-/// Full-pipeline configuration (defaults mirror §VII-A4).
-struct TpGrGadOptions {
-  MhGaeOptions mh_gae;
-  GroupSamplerOptions sampler;
-  TpgclOptions tpgcl;
-  DetectorKind detector = DetectorKind::kEcod;
-  /// When true, Run() skips TPGCL and scores mean-pooled raw features
-  /// instead (the "TP-GrGAD w/o TPGCL" ablation of Table V).
-  bool disable_tpgcl = false;
-  uint64_t seed = 42;
-
-  /// Propagates `seed` into every stage's seed field.
-  void ReseedStages();
-};
-
-/// Everything the pipeline produces, stage by stage.
-struct PipelineArtifacts {
-  std::vector<int> anchors;
-  std::vector<std::vector<int>> candidate_groups;
-  Matrix group_embeddings;          ///< m x embed (or m x attr_dim w/o TPGCL).
-  std::vector<double> group_scores; ///< Detector output, aligned to groups.
-  std::vector<ScoredGroup> scored_groups;
-  std::vector<double> gae_node_errors;
-  std::vector<double> tpgcl_loss_history;
-};
 
 /// The TP-GrGAD method.
 class TpGrGad : public GroupDetector {
  public:
+  /// Builds the method. When `options.seed` was changed from its default
+  /// but the per-stage seeds were not, the constructor propagates the seed
+  /// into the training stages — mh_gae and tpgcl, exactly what
+  /// ReseedStages() covers; sampler.seed stays independent — so forgetting
+  /// ReseedStages() is no longer a footgun. Stage seeds the caller set
+  /// explicitly are never overwritten.
   explicit TpGrGad(TpGrGadOptions options = {});
 
-  /// Full pipeline with intermediate artifacts.
+  /// Full pipeline with intermediate artifacts. Aborts on programmer error
+  /// (e.g. attribute-less graph); callers needing recoverable errors use
+  /// TryRun().
   PipelineArtifacts Run(const Graph& g) const;
+
+  /// Fallible full pipeline: empty/attribute-less graphs, no anchors, or
+  /// fewer than two candidate groups return a Status instead of aborting,
+  /// and `ctx` (optional) provides cancellation + progress + telemetry.
+  Result<PipelineArtifacts> TryRun(const Graph& g,
+                                   RunContext* ctx = nullptr) const;
 
   // GroupDetector interface.
   std::vector<ScoredGroup> DetectGroups(const Graph& g) const override;

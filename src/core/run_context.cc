@@ -1,0 +1,23 @@
+#include "src/core/run_context.h"
+
+#include <utility>
+
+namespace grgad {
+
+StageScope::StageScope(RunContext* ctx, std::string stage)
+    : ctx_(ctx), stage_(std::move(stage)) {
+  if (ctx_ != nullptr && ctx_->on_progress) {
+    ctx_->on_progress({stage_, /*finished=*/false, 0.0});
+  }
+}
+
+StageScope::~StageScope() {
+  if (ctx_ == nullptr) return;
+  const double seconds = timer_.ElapsedSeconds();
+  ctx_->timings_.push_back({stage_, seconds});
+  if (ctx_->on_progress) {
+    ctx_->on_progress({stage_, /*finished=*/true, seconds});
+  }
+}
+
+}  // namespace grgad

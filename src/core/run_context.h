@@ -1,0 +1,91 @@
+// Per-run execution context threaded through every pipeline stage.
+//
+// A RunContext carries the three cross-cutting concerns the Engine stages
+// share: cooperative cancellation (a CancelToken copied into the stage
+// options so training loops poll it once per epoch), a progress callback
+// fired when a stage starts and finishes, and per-stage wall-time telemetry
+// accumulated across the run. Every stage entry point accepts a nullable
+// RunContext*; passing nullptr runs the stage with no context overhead.
+//
+// A RunContext is single-run, single-driver state: only RequestCancel() may
+// be called from other threads (or signal handlers); everything else is
+// owned by the thread driving the stages.
+#ifndef GRGAD_CORE_RUN_CONTEXT_H_
+#define GRGAD_CORE_RUN_CONTEXT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/util/cancel.h"
+#include "src/util/timer.h"
+
+namespace grgad {
+
+/// Wall-clock seconds spent in one stage, in execution order.
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+/// Progress notification: one event when a stage starts (seconds == 0) and
+/// one when it finishes (seconds = stage wall time).
+struct StageEvent {
+  std::string stage;
+  bool finished = false;
+  double seconds = 0.0;
+};
+
+class RunContext {
+ public:
+  RunContext() = default;
+
+  /// The run's cancellation token; copies handed to stage options alias it.
+  const CancelToken& cancel_token() const { return cancel_; }
+
+  /// Requests cooperative cancellation. Safe from any thread; the run
+  /// unwinds at the next per-epoch / per-stage poll with StatusCode::
+  /// kCancelled.
+  void RequestCancel() { cancel_.RequestCancel(); }
+  bool cancelled() const { return cancel_.cancelled(); }
+
+  /// Optional observer, invoked synchronously on the driving thread.
+  std::function<void(const StageEvent&)> on_progress;
+
+  /// Telemetry for every finished stage, in execution order. Stages of
+  /// repeated runs through the same context append (the context outlives a
+  /// single RunPipeline call by design, e.g. run + rescore).
+  const std::vector<StageTiming>& stage_timings() const { return timings_; }
+
+  /// Sum of stage_timings() seconds.
+  double TotalSeconds() const {
+    double total = 0.0;
+    for (const StageTiming& t : timings_) total += t.seconds;
+    return total;
+  }
+
+ private:
+  friend class StageScope;
+  CancelToken cancel_;
+  std::vector<StageTiming> timings_;
+};
+
+/// RAII stage bracket: emits the started event on construction and records
+/// timing + emits the finished event on destruction. Null-context safe.
+class StageScope {
+ public:
+  StageScope(RunContext* ctx, std::string stage);
+  ~StageScope();
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  RunContext* ctx_;
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_CORE_RUN_CONTEXT_H_

@@ -1,0 +1,124 @@
+// The Engine layer: TP-GrGAD's pipeline decomposed into first-class stages.
+//
+// The paper's framework (Fig. 2) is explicitly staged:
+//
+//   graph --[anchors]--> anchor nodes --[sampling]--> candidate groups
+//         --[embedding]--> group embeddings --[scoring]--> scored groups
+//
+// Each stage here is a standalone fallible function with typed inputs and
+// outputs, so callers can run the whole pipeline (RunPipeline), drive the
+// stages themselves, or start from any persisted intermediate artifact —
+// e.g. RescoreArtifacts re-runs only the scoring stage over saved TPGCL
+// embeddings to swap the outlier detector without re-training. Every stage
+// takes an optional RunContext for cancellation, progress callbacks, and
+// per-stage wall-time telemetry; bad inputs return a Status instead of
+// aborting.
+#ifndef GRGAD_CORE_STAGES_H_
+#define GRGAD_CORE_STAGES_H_
+
+#include <vector>
+
+#include "src/core/artifacts.h"
+#include "src/core/run_context.h"
+#include "src/gae/mh_gae.h"
+#include "src/gcl/tpgcl.h"
+#include "src/od/detector.h"
+#include "src/sampling/group_sampler.h"
+#include "src/util/status.h"
+
+namespace grgad {
+
+/// Full-pipeline configuration (defaults mirror §VII-A4).
+struct TpGrGadOptions {
+  MhGaeOptions mh_gae;
+  GroupSamplerOptions sampler;
+  TpgclOptions tpgcl;
+  DetectorKind detector = DetectorKind::kEcod;
+  /// When true, the embedding stage skips TPGCL and scores mean-pooled raw
+  /// features instead (the "TP-GrGAD w/o TPGCL" ablation of Table V).
+  bool disable_tpgcl = false;
+  uint64_t seed = 42;
+
+  /// Propagates `seed` into the training-stage seeds (mh_gae.base.seed,
+  /// tpgcl.seed). The sampler and its subsampling draw keep their own
+  /// sampler.seed field, as they always have. TpGrGad's constructor does
+  /// this automatically when `seed` was changed and the stage seeds were
+  /// not; keep calling this only to re-seed explicitly.
+  void ReseedStages();
+};
+
+/// Stage 1 output: anchor localization (MH-GAE).
+struct AnchorStageOutput {
+  std::vector<int> anchors;           ///< Sorted node ids.
+  std::vector<double> node_errors;    ///< Per-node reconstruction errors.
+};
+
+/// Stage 2 output: candidate group sampling (Alg. 1).
+struct CandidateStageOutput {
+  std::vector<std::vector<int>> groups;
+};
+
+/// Stage 3 output: group embeddings (TPGCL, or mean pooling w/o TPGCL).
+struct EmbeddingStageOutput {
+  Matrix embeddings;                  ///< m x embed (or m x attr_dim).
+  std::vector<double> loss_history;   ///< Empty for the pooled ablation.
+};
+
+/// Stage 4 output: outlier scoring over group embeddings.
+struct ScoringStageOutput {
+  std::vector<double> scores;         ///< Aligned to the input groups.
+  std::vector<ScoredGroup> scored_groups;
+};
+
+/// Trains MH-GAE on `g` and selects anchor nodes. InvalidArgument when the
+/// graph has fewer than two nodes or no attributes.
+Result<AnchorStageOutput> RunAnchorStage(const Graph& g,
+                                         const TpGrGadOptions& options,
+                                         RunContext* ctx = nullptr);
+
+/// Samples candidate groups from `anchors` (Alg. 1). An empty anchor set
+/// yields an empty (but OK) candidate set.
+Result<CandidateStageOutput> RunCandidateStage(
+    const Graph& g, const std::vector<int>& anchors,
+    const TpGrGadOptions& options, RunContext* ctx = nullptr);
+
+/// Embeds the candidate groups with TPGCL (or mean pooling when
+/// options.disable_tpgcl). FailedPrecondition with fewer than two groups —
+/// there is nothing to contrast.
+Result<EmbeddingStageOutput> RunEmbeddingStage(
+    const Graph& g, const std::vector<std::vector<int>>& groups,
+    const TpGrGadOptions& options, RunContext* ctx = nullptr);
+
+/// Scores one embedding row per group with options.detector (seeded with
+/// options.seed ^ 0x3, matching the full pipeline). Only needs embeddings —
+/// this is the stage artifact reloads re-run to swap detectors.
+Result<ScoringStageOutput> RunScoringStage(
+    const Matrix& embeddings, const std::vector<std::vector<int>>& groups,
+    const TpGrGadOptions& options, RunContext* ctx = nullptr);
+
+/// Thin driver over the four stages. Fills `out` with every artifact
+/// produced before the first failure, so callers keep partial progress on
+/// non-OK returns (e.g. the sampled-but-unscorable candidate list when
+/// fewer than two candidates exist).
+Status RunPipelineInto(const Graph& g, const TpGrGadOptions& options,
+                       RunContext* ctx, PipelineArtifacts* out);
+
+/// RunPipelineInto without the partial-progress escape hatch: status or the
+/// complete artifact set.
+Result<PipelineArtifacts> RunPipeline(const Graph& g,
+                                      const TpGrGadOptions& options,
+                                      RunContext* ctx = nullptr);
+
+/// Re-runs only the scoring stage over saved artifacts with a (possibly
+/// different) detector — the "ECOD -> ensemble without re-training TPGCL"
+/// path. `seed` should be the original pipeline seed for bit-identical
+/// parity with a full run. FailedPrecondition when the artifacts carry no
+/// embeddings.
+Result<ScoringStageOutput> RescoreArtifacts(const PipelineArtifacts& artifacts,
+                                            DetectorKind detector,
+                                            uint64_t seed,
+                                            RunContext* ctx = nullptr);
+
+}  // namespace grgad
+
+#endif  // GRGAD_CORE_STAGES_H_

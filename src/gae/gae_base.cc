@@ -24,6 +24,18 @@ const char* ToString(ReconTarget target) {
   return "?";
 }
 
+bool ParseReconTarget(const std::string& name, ReconTarget* out) {
+  for (ReconTarget t : {ReconTarget::kAdjacency, ReconTarget::kPower3,
+                        ReconTarget::kPower5, ReconTarget::kPower7,
+                        ReconTarget::kGraphSnn}) {
+    if (name == ToString(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
 void MinMaxNormalize(std::vector<double>* v) {
   if (v->empty()) return;
   const auto [lo_it, hi_it] = std::minmax_element(v->begin(), v->end());
@@ -154,6 +166,7 @@ GaeResult GcnGae::Fit(const Graph& g) const {
   Matrix final_x_hat;
   Matrix final_pred;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (options_.cancel.cancelled()) return result;
     adam.ZeroGrad();
     Var h = Relu(enc1.Forward(a_norm, x));
     Var z = enc2.Forward(a_norm, h);

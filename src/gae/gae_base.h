@@ -20,6 +20,7 @@
 
 #include "src/graph/graph.h"
 #include "src/tensor/matrix.h"
+#include "src/util/cancel.h"
 
 namespace grgad {
 
@@ -34,6 +35,9 @@ enum class ReconTarget {
 
 /// "A" | "A^3" | "A^5" | "A^7" | "A~".
 const char* ToString(ReconTarget target);
+
+/// Inverse of ToString(ReconTarget); false for unknown names.
+bool ParseReconTarget(const std::string& name, ReconTarget* out);
 
 /// GAE training hyperparameters (defaults follow §VII-A4).
 struct GaeOptions {
@@ -57,6 +61,11 @@ struct GaeOptions {
   /// λ exponent of the GraphSNN weights (Eqn. 4).
   double graphsnn_lambda = 1.0;
   uint64_t seed = 1;
+  /// Cooperative cancellation, polled once per epoch. When it fires, Fit()
+  /// abandons training and returns a partial GaeResult (loss_history only);
+  /// callers that handed out the token must check it before consuming the
+  /// result.
+  CancelToken cancel;
 };
 
 /// Everything a fitted GAE exposes.

@@ -16,6 +16,19 @@ const char* ToString(AugmentationKind kind) {
   return "?";
 }
 
+bool ParseAugmentationKind(const std::string& name, AugmentationKind* out) {
+  for (AugmentationKind kind :
+       {AugmentationKind::kPba, AugmentationKind::kPpa,
+        AugmentationKind::kNodeDrop, AugmentationKind::kEdgeRemove,
+        AugmentationKind::kFeatureMask}) {
+    if (name == ToString(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 /// Editable copy of a small attributed graph.

@@ -31,6 +31,9 @@ enum class AugmentationKind {
 /// "PBA" | "PPA" | "ND" | "ER" | "FM".
 const char* ToString(AugmentationKind kind);
 
+/// Inverse of ToString(AugmentationKind); false for unknown names.
+bool ParseAugmentationKind(const std::string& name, AugmentationKind* out);
+
 /// Applies an augmentation to a candidate group's induced attributed graph.
 ///
 /// `patterns` are the group's found topology patterns (only consulted by

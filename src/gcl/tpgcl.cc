@@ -104,6 +104,7 @@ TpgclResult Tpgcl::FitEmbed(
   TpgclResult result;
   result.loss_history.reserve(options_.epochs);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (options_.cancel.cancelled()) return result;
     adam.ZeroGrad();
     Var z_pos = encode(pos_batch);
     Var z_neg = encode(neg_batch);

@@ -21,6 +21,7 @@
 #include "src/graph/graph.h"
 #include "src/tensor/matrix.h"
 #include "src/tensor/sparse.h"
+#include "src/util/cancel.h"
 
 namespace grgad {
 
@@ -38,6 +39,11 @@ struct TpgclOptions {
   AugmentationKind negative_aug = AugmentationKind::kPba;
   PatternSearchOptions pattern_options;
   uint64_t seed = 5;
+  /// Cooperative cancellation, polled once per epoch. When it fires,
+  /// FitEmbed() abandons training and returns a partial TpgclResult (empty
+  /// embeddings); callers that handed out the token must check it before
+  /// consuming the result.
+  CancelToken cancel;
 };
 
 /// Fit output: per-group embeddings (row i = groups[i]) + loss curve.

@@ -31,15 +31,32 @@ std::unique_ptr<OutlierDetector> MakeOutlierDetector(DetectorKind kind,
   return nullptr;
 }
 
+std::vector<DetectorKind> AllDetectorKinds() {
+  return {DetectorKind::kEcod, DetectorKind::kLof, DetectorKind::kKnn,
+          DetectorKind::kIsolationForest, DetectorKind::kMad,
+          DetectorKind::kEnsemble};
+}
+
+const char* DetectorKindName(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kEcod: return "ecod";
+    case DetectorKind::kLof: return "lof";
+    case DetectorKind::kKnn: return "knn";
+    case DetectorKind::kIsolationForest: return "iforest";
+    case DetectorKind::kMad: return "mad";
+    case DetectorKind::kEnsemble: return "ensemble";
+  }
+  return "?";
+}
+
 bool ParseDetectorKind(const std::string& name, DetectorKind* out) {
-  if (name == "ecod") *out = DetectorKind::kEcod;
-  else if (name == "lof") *out = DetectorKind::kLof;
-  else if (name == "knn") *out = DetectorKind::kKnn;
-  else if (name == "iforest") *out = DetectorKind::kIsolationForest;
-  else if (name == "mad") *out = DetectorKind::kMad;
-  else if (name == "ensemble") *out = DetectorKind::kEnsemble;
-  else return false;
-  return true;
+  for (DetectorKind kind : AllDetectorKinds()) {
+    if (name == DetectorKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace grgad

@@ -37,7 +37,15 @@ enum class DetectorKind { kEcod, kLof, kKnn, kIsolationForest, kMad,
 std::unique_ptr<OutlierDetector> MakeOutlierDetector(DetectorKind kind,
                                                      uint64_t seed = 7);
 
-/// Parses "ecod" | "lof" | "knn" | "iforest" | "mad".
+/// Every DetectorKind, in enum order. Iterate this instead of hard-coding
+/// kinds so new detectors reach benches/CLI/tests automatically.
+std::vector<DetectorKind> AllDetectorKinds();
+
+/// "ecod" | "lof" | "knn" | "iforest" | "mad" | "ensemble" — the names
+/// ParseDetectorKind accepts.
+const char* DetectorKindName(DetectorKind kind);
+
+/// Inverse of DetectorKindName; false for unknown names.
 bool ParseDetectorKind(const std::string& name, DetectorKind* out);
 
 }  // namespace grgad

@@ -1,0 +1,36 @@
+// Cooperative cancellation for long-running training / pipeline code.
+//
+// A CancelToken is a cheap shared handle to one atomic flag. The controller
+// keeps a copy and calls RequestCancel() (from any thread, including a
+// signal handler via the relaxed atomic store); workers embed a copy in
+// their options and poll cancelled() at safe points — typically once per
+// training epoch — then unwind by returning early. There is no forced
+// termination: cancellation is only as prompt as the polling granularity,
+// which is what keeps partially-written state impossible.
+#ifndef GRGAD_UTIL_CANCEL_H_
+#define GRGAD_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <memory>
+
+namespace grgad {
+
+/// Shared cancellation flag. Copies alias the same flag; default-constructed
+/// tokens are independent and start un-cancelled.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Flags every copy of this token. Safe from any thread; idempotent.
+  void RequestCancel() const { flag_->store(true, std::memory_order_relaxed); }
+
+  /// True once any copy has been cancelled.
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_UTIL_CANCEL_H_

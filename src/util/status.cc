@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kNotConverged:
       return "NotConverged";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal = 5,
   kIoError = 6,
   kNotConverged = 7,
+  kCancelled = 8,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -65,6 +66,9 @@ class Status {
   }
   static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -79,7 +79,26 @@ TEST(DetectorFactoryTest, ParseNames) {
   EXPECT_TRUE(ParseDetectorKind("knn", &kind));
   EXPECT_TRUE(ParseDetectorKind("iforest", &kind));
   EXPECT_TRUE(ParseDetectorKind("mad", &kind));
+  EXPECT_TRUE(ParseDetectorKind("ensemble", &kind));
+  EXPECT_EQ(kind, DetectorKind::kEnsemble);
   EXPECT_FALSE(ParseDetectorKind("nope", &kind));
+}
+
+TEST(DetectorFactoryTest, NameParseRoundTripCoversEveryKind) {
+  // DetectorKindName must invert ParseDetectorKind for every enum value,
+  // and every kind must construct through the factory.
+  const auto kinds = AllDetectorKinds();
+  EXPECT_EQ(kinds.size(), 6u);
+  for (DetectorKind kind : kinds) {
+    const std::string name = DetectorKindName(kind);
+    EXPECT_NE(name, "?");
+    DetectorKind parsed;
+    ASSERT_TRUE(ParseDetectorKind(name, &parsed)) << name;
+    EXPECT_EQ(parsed, kind) << name;
+    auto detector = MakeOutlierDetector(kind, /*seed=*/7);
+    ASSERT_NE(detector, nullptr) << name;
+    EXPECT_FALSE(detector->Name().empty());
+  }
 }
 
 TEST(EcodTest, JointlyExtremePointScoresHighest) {

@@ -12,7 +12,7 @@
 namespace grgad {
 namespace {
 
-TpGrGadOptions QuickOptions(uint64_t seed = 42) {
+TpGrGadOptions QuickOptions(uint64_t seed = 42, bool reseed = true) {
   TpGrGadOptions options;
   options.seed = seed;
   options.mh_gae.base.epochs = 40;
@@ -22,7 +22,7 @@ TpGrGadOptions QuickOptions(uint64_t seed = 42) {
   options.tpgcl.epochs = 30;
   options.tpgcl.hidden_dim = 32;
   options.tpgcl.embed_dim = 16;
-  options.ReseedStages();
+  if (reseed) options.ReseedStages();
   return options;
 }
 
@@ -51,6 +51,40 @@ TEST(PipelineTest, DeterministicGivenSeed) {
     EXPECT_EQ(a.scored_groups[i].nodes, b.scored_groups[i].nodes);
     EXPECT_DOUBLE_EQ(a.scored_groups[i].score, b.scored_groups[i].score);
   }
+}
+
+TEST(PipelineTest, ConstructorPropagatesSeedWithoutReseedStages) {
+  // ReseedStages() footgun regression: a detector built from un-reseeded
+  // options (seed set, ReseedStages forgotten) must agree with one built
+  // from explicitly reseeded options — the constructor propagates.
+  const Dataset d = GenExampleGraph({});
+  const auto forgot =
+      TpGrGad(QuickOptions(7, /*reseed=*/false)).Run(d.graph);
+  const auto reseeded =
+      TpGrGad(QuickOptions(7, /*reseed=*/true)).Run(d.graph);
+  ASSERT_EQ(forgot.scored_groups.size(), reseeded.scored_groups.size());
+  for (size_t i = 0; i < forgot.scored_groups.size(); ++i) {
+    EXPECT_EQ(forgot.scored_groups[i].nodes, reseeded.scored_groups[i].nodes);
+    EXPECT_DOUBLE_EQ(forgot.scored_groups[i].score,
+                     reseeded.scored_groups[i].score);
+  }
+}
+
+TEST(PipelineTest, ConstructorKeepsExplicitStageSeeds) {
+  TpGrGadOptions options;
+  options.seed = 7;
+  options.tpgcl.seed = 123;  // Explicit per-stage seed must win.
+  TpGrGad method(options);
+  EXPECT_EQ(method.options().tpgcl.seed, 123u);
+  EXPECT_EQ(method.options().mh_gae.base.seed, 7u ^ 0x1);
+}
+
+TEST(PipelineTest, DefaultOptionsKeepHistoricalStageSeeds) {
+  // Bit-for-bit compatibility: default-constructed options must run with
+  // the same stage seeds as before the Engine redesign.
+  TpGrGad method;
+  EXPECT_EQ(method.options().mh_gae.base.seed, GaeOptions{}.seed);
+  EXPECT_EQ(method.options().tpgcl.seed, TpgclOptions{}.seed);
 }
 
 TEST(PipelineTest, BeatsNodeLevelAdapterOnCompleteness) {

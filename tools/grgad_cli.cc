@@ -1,0 +1,482 @@
+// grgad — the serving-facing command-line front door.
+//
+//   grgad list
+//       Datasets, methods (with their option keys), and detectors.
+//   grgad run --dataset=simml --method=tp-grgad --detector=ecod
+//             --set tpgcl.epochs=30 --out artifacts/ [--json results.json]
+//       Builds the dataset and method by name, runs the pipeline with a
+//       RunContext (Ctrl-C cancels cooperatively; per-stage wall times are
+//       reported), evaluates against ground truth, writes a JSON result,
+//       and persists every pipeline artifact under --out.
+//   grgad rescore --in artifacts/ --detector=ensemble [--out artifacts2/]
+//       Reloads saved artifacts and re-runs ONLY the scoring stage with a
+//       different outlier detector — no re-training.
+//
+// All configuration is string-keyed through the method registry, so this
+// binary needs no per-method flag wiring.
+#include <algorithm>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/artifacts.h"
+#include "src/core/evaluation.h"
+#include "src/core/method_registry.h"
+#include "src/core/pipeline.h"
+#include "src/core/stages.h"
+#include "src/data/registry.h"
+#include "src/od/detector.h"
+#include "src/util/timer.h"
+
+namespace grgad {
+namespace {
+
+// ---- Ctrl-C -> cooperative cancellation ------------------------------------
+
+// The token outlives any run; the handler only flips an atomic.
+CancelToken* GlobalCancelToken() {
+  static CancelToken token;
+  return &token;
+}
+
+void HandleSigint(int) { GlobalCancelToken()->RequestCancel(); }
+
+// ---- tiny JSON writer -------------------------------------------------------
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";  // Bare nan/inf is invalid JSON.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// Appends one `"key": value` JSON member (value pre-rendered).
+void JsonField(std::string* out, const char* key, const std::string& value,
+               bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\": ";
+  *out += value;
+}
+
+std::string JsonString(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+// ---- argument parsing -------------------------------------------------------
+
+struct Args {
+  std::string command;
+  std::string dataset;
+  std::string method = "tp-grgad";
+  std::string detector;
+  std::string out_dir;
+  std::string in_dir;
+  std::string json_path;
+  uint64_t seed = 42;
+  bool seed_set = false;  // Rescore defaults to the artifacts' seed.
+  uint64_t data_seed = 42;
+  double scale = 1.0;
+  int attr_dim = 0;
+  bool quiet = false;
+  std::vector<std::string> overrides;
+};
+
+/// Matches "--name=value" or "--name value" (value from the next argv slot,
+/// advancing *i). Returns false when `arg` is a different flag.
+bool ParseFlag(int argc, char** argv, int* i, const char* name,
+               std::string* value) {
+  const std::string arg = argv[*i];
+  const std::string flag = std::string("--") + name;
+  if (arg.rfind(flag + "=", 0) == 0) {
+    *value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  if (arg == flag && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+bool ParseIntValue(const std::string& value, int* out) {
+  uint64_t parsed = 0;
+  if (!ParseUint64Text(value, &parsed) || parsed > 1000000) return false;
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
+  if (argc < 2) {
+    *error = "missing command";
+    return false;
+  }
+  args->command = argv[1];
+  std::string value;
+  for (int i = 2; i < argc; ++i) {
+    if (ParseFlag(argc, argv, &i, "dataset", &args->dataset)) continue;
+    if (ParseFlag(argc, argv, &i, "method", &args->method)) continue;
+    if (ParseFlag(argc, argv, &i, "detector", &args->detector)) continue;
+    if (ParseFlag(argc, argv, &i, "out", &args->out_dir)) continue;
+    if (ParseFlag(argc, argv, &i, "in", &args->in_dir)) continue;
+    if (ParseFlag(argc, argv, &i, "json", &args->json_path)) continue;
+    if (ParseFlag(argc, argv, &i, "seed", &value)) {
+      if (!ParseUint64Text(value, &args->seed)) {
+        *error = "--seed: cannot parse '" + value + "'";
+        return false;
+      }
+      args->seed_set = true;
+      continue;
+    }
+    if (ParseFlag(argc, argv, &i, "data-seed", &value)) {
+      if (!ParseUint64Text(value, &args->data_seed)) {
+        *error = "--data-seed: cannot parse '" + value + "'";
+        return false;
+      }
+      continue;
+    }
+    if (ParseFlag(argc, argv, &i, "scale", &value)) {
+      if (!ParseDoubleText(value, &args->scale) || args->scale <= 0.0) {
+        *error = "--scale: cannot parse '" + value + "'";
+        return false;
+      }
+      continue;
+    }
+    if (ParseFlag(argc, argv, &i, "attr-dim", &value)) {
+      if (!ParseIntValue(value, &args->attr_dim)) {
+        *error = "--attr-dim: cannot parse '" + value + "'";
+        return false;
+      }
+      continue;
+    }
+    if (std::string(argv[i]) == "--quiet") {
+      args->quiet = true;
+      continue;
+    }
+    if (ParseFlag(argc, argv, &i, "set", &value)) {
+      args->overrides.push_back(value);
+      continue;
+    }
+    *error = std::string("unknown flag: ") + argv[i];
+    return false;
+  }
+  return true;
+}
+
+void PrintUsage() {
+  std::printf(
+      "grgad — topology-pattern-enhanced group-level graph anomaly "
+      "detection\n\n"
+      "usage:\n"
+      "  grgad list\n"
+      "      Print available datasets, methods (+ option keys), and "
+      "detectors.\n"
+      "  grgad run --dataset=NAME [--method=tp-grgad] [--detector=ecod]\n"
+      "            [--seed=42] [--set key=value ...] [--out DIR]\n"
+      "            [--json PATH] [--data-seed=42] [--scale=1.0]\n"
+      "            [--attr-dim=0] [--quiet]\n"
+      "      Run a method end to end; --out persists the pipeline "
+      "artifacts.\n"
+      "  grgad rescore --in DIR --detector=KIND [--seed=42] [--out DIR]\n"
+      "                [--json PATH] [--quiet]\n"
+      "      Re-score saved artifacts with a different detector — no "
+      "re-training.\n\n"
+      "Ctrl-C cancels a running pipeline cooperatively (exit code 130).\n");
+}
+
+int CmdList() {
+  std::printf("datasets:\n");
+  for (const std::string& name : ListDatasets()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("\nmethods (configure with --set key=value):\n");
+  for (const std::string& name : ListMethods()) {
+    std::printf("  %s\n", name.c_str());
+    auto keys = MethodOptionKeys(name);
+    if (keys.ok()) {
+      std::string line = "    ";
+      for (const std::string& key : keys.value()) {
+        if (line.size() + key.size() > 78) {
+          std::printf("%s\n", line.c_str());
+          line = "    ";
+        }
+        line += key + " ";
+      }
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  std::printf("\ndetectors (--detector=...):\n");
+  for (DetectorKind kind : AllDetectorKinds()) {
+    std::printf("  %s\n", DetectorKindName(kind));
+  }
+  return 0;
+}
+
+/// Renders { "nodes": [...], "score": s } rows for the top `limit` groups.
+std::string TopGroupsJson(std::vector<ScoredGroup> groups, size_t limit) {
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const ScoredGroup& a, const ScoredGroup& b) {
+                     return a.score > b.score;
+                   });
+  std::string out = "[";
+  for (size_t i = 0; i < groups.size() && i < limit; ++i) {
+    if (i) out += ", ";
+    out += "{\"score\": " + JsonNumber(groups[i].score) + ", \"nodes\": [";
+    for (size_t k = 0; k < groups[i].nodes.size(); ++k) {
+      if (k) out += ", ";
+      out += std::to_string(groups[i].nodes[k]);
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string TimingsJson(const RunContext& ctx) {
+  std::string out = "[";
+  bool first_timing = true;
+  for (const StageTiming& t : ctx.stage_timings()) {
+    if (!first_timing) out += ", ";
+    first_timing = false;
+    out += "{\"stage\": " + JsonString(t.stage) +
+           ", \"seconds\": " + JsonNumber(t.seconds) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string EvaluationJson(const GroupEvaluation& eval) {
+  std::string out = "{";
+  bool first = true;
+  JsonField(&out, "cr", JsonNumber(eval.cr), &first);
+  JsonField(&out, "f1", JsonNumber(eval.f1), &first);
+  JsonField(&out, "auc", JsonNumber(eval.auc), &first);
+  JsonField(&out, "avg_predicted_size", JsonNumber(eval.avg_predicted_size),
+            &first);
+  JsonField(&out, "num_candidates", std::to_string(eval.num_candidates),
+            &first);
+  JsonField(&out, "num_predicted_anomalous",
+            std::to_string(eval.num_predicted_anomalous), &first);
+  out += "}";
+  return out;
+}
+
+int EmitJson(const Args& args, const std::string& json) {
+  if (args.json_path.empty() || args.json_path == "-") {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  std::ofstream out(args.json_path, std::ios::trunc);
+  out << json << "\n";
+  if (!out.flush()) {
+    std::fprintf(stderr, "error: cannot write %s\n", args.json_path.c_str());
+    return 1;
+  }
+  if (!args.quiet) std::printf("wrote %s\n", args.json_path.c_str());
+  return 0;
+}
+
+int FailWith(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return status.code() == StatusCode::kCancelled ? 130 : 1;
+}
+
+int CmdRun(const Args& args) {
+  if (args.dataset.empty()) {
+    std::fprintf(stderr, "error: run requires --dataset=NAME\n");
+    return 2;
+  }
+  DatasetOptions data_options;
+  data_options.seed = args.data_seed;
+  data_options.scale = args.scale;
+  data_options.attr_dim = args.attr_dim;
+  auto dataset = MakeDataset(args.dataset, data_options);
+  if (!dataset.ok()) return FailWith(dataset.status());
+  const Dataset& d = dataset.value();
+  if (!args.quiet) {
+    std::fprintf(stderr, "dataset %s: %d nodes / %d edges / %zu-d attrs\n",
+                 args.dataset.c_str(), d.graph.num_nodes(),
+                 d.graph.num_edges(), d.graph.attr_dim());
+  }
+
+  MethodOptions method_options;
+  method_options.seed = args.seed;
+  method_options.overrides = args.overrides;
+  if (!args.detector.empty()) {
+    // --detector is sugar for --set detector=... (tp-grgad only).
+    method_options.overrides.push_back("detector=" + args.detector);
+  }
+
+  RunContext ctx;
+  if (!args.quiet) {
+    ctx.on_progress = [](const StageEvent& event) {
+      if (event.finished) {
+        std::fprintf(stderr, "stage %-10s done in %.2fs\n",
+                     event.stage.c_str(), event.seconds);
+      } else {
+        std::fprintf(stderr, "stage %-10s ...\n", event.stage.c_str());
+      }
+    };
+  }
+
+  PipelineArtifacts artifacts;
+  std::vector<ScoredGroup> scored;
+  Timer total_timer;
+  if (args.method == "tp-grgad") {
+    auto options = BuildTpGrGadOptions(args.seed, method_options.overrides);
+    if (!options.ok()) return FailWith(options.status());
+    // Only the stage pipeline polls the cancel token; the baseline methods
+    // below keep the default SIGINT disposition (terminate) instead of a
+    // handler that would silently eat Ctrl-C.
+    *GlobalCancelToken() = ctx.cancel_token();
+    std::signal(SIGINT, HandleSigint);
+    auto result = TpGrGad(options.value()).TryRun(d.graph, &ctx);
+    std::signal(SIGINT, SIG_DFL);  // Nothing polls the token past here.
+    if (!result.ok()) return FailWith(result.status());
+    artifacts = std::move(result).value();
+    scored = artifacts.scored_groups;
+  } else {
+    if (!args.detector.empty()) {
+      std::fprintf(stderr,
+                   "error: --detector only applies to --method=tp-grgad\n");
+      return 2;
+    }
+    auto method = MakeGroupDetector(args.method, method_options);
+    if (!method.ok()) return FailWith(method.status());
+    scored = method.value()->DetectGroups(d.graph);
+    artifacts.seed = args.seed;
+    artifacts.scored_groups = scored;
+    for (const ScoredGroup& sg : scored) {
+      artifacts.candidate_groups.push_back(sg.nodes);
+      artifacts.group_scores.push_back(sg.score);
+    }
+  }
+  const double total_seconds = total_timer.ElapsedSeconds();
+
+  if (!args.out_dir.empty()) {
+    const Status saved = SaveArtifacts(artifacts, args.out_dir);
+    if (!saved.ok()) return FailWith(saved);
+    if (!args.quiet) {
+      std::fprintf(stderr, "artifacts -> %s\n", args.out_dir.c_str());
+    }
+  }
+
+  const GroupEvaluation eval = EvaluateGroups(d, scored);
+  std::string json = "{";
+  bool first = true;
+  JsonField(&json, "command", JsonString("run"), &first);
+  JsonField(&json, "dataset", JsonString(args.dataset), &first);
+  JsonField(&json, "method", JsonString(args.method), &first);
+  JsonField(&json, "seed", std::to_string(args.seed), &first);
+  JsonField(&json, "num_anchors", std::to_string(artifacts.anchors.size()),
+            &first);
+  JsonField(&json, "num_groups",
+            std::to_string(artifacts.candidate_groups.size()), &first);
+  JsonField(&json, "seconds", JsonNumber(total_seconds), &first);
+  JsonField(&json, "stage_timings", TimingsJson(ctx), &first);
+  JsonField(&json, "evaluation", EvaluationJson(eval), &first);
+  JsonField(&json, "top_groups", TopGroupsJson(scored, 5), &first);
+  json += "}";
+  return EmitJson(args, json);
+}
+
+int CmdRescore(const Args& args) {
+  if (args.in_dir.empty() || args.detector.empty()) {
+    std::fprintf(stderr,
+                 "error: rescore requires --in=DIR and --detector=KIND\n");
+    return 2;
+  }
+  DetectorKind kind;
+  if (!ParseDetectorKind(args.detector, &kind)) {
+    std::fprintf(stderr, "error: unknown detector '%s'\n",
+                 args.detector.c_str());
+    return 2;
+  }
+  auto loaded = LoadArtifacts(args.in_dir);
+  if (!loaded.ok()) return FailWith(loaded.status());
+  PipelineArtifacts artifacts = std::move(loaded).value();
+  // Default to the seed recorded at run time so detector seeding matches a
+  // full run with this detector bit-for-bit; --seed overrides.
+  const uint64_t seed = args.seed_set ? args.seed : artifacts.seed;
+
+  RunContext ctx;
+  auto rescored = RescoreArtifacts(artifacts, kind, seed, &ctx);
+  if (!rescored.ok()) return FailWith(rescored.status());
+  artifacts.seed = seed;  // Keep a --out manifest true to these scores.
+  artifacts.group_scores = rescored.value().scores;
+  artifacts.scored_groups = rescored.value().scored_groups;
+
+  if (!args.out_dir.empty()) {
+    const Status saved = SaveArtifacts(artifacts, args.out_dir);
+    if (!saved.ok()) return FailWith(saved);
+    if (!args.quiet) {
+      std::fprintf(stderr, "artifacts -> %s\n", args.out_dir.c_str());
+    }
+  }
+
+  std::string json = "{";
+  bool first = true;
+  JsonField(&json, "command", JsonString("rescore"), &first);
+  JsonField(&json, "in", JsonString(args.in_dir), &first);
+  JsonField(&json, "detector", JsonString(args.detector), &first);
+  JsonField(&json, "num_groups",
+            std::to_string(artifacts.candidate_groups.size()), &first);
+  JsonField(&json, "stage_timings", TimingsJson(ctx), &first);
+  JsonField(&json, "top_groups", TopGroupsJson(artifacts.scored_groups, 5),
+            &first);
+  json += "}";
+  return EmitJson(args, json);
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  std::string error;
+  if (!ParseArgs(argc, argv, &args, &error)) {
+    std::fprintf(stderr, "error: %s\n\n", error.c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (args.command == "list") return CmdList();
+  if (args.command == "run") return CmdRun(args);
+  if (args.command == "rescore") return CmdRescore(args);
+  if (args.command == "help" || args.command == "--help") {
+    PrintUsage();
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown command '%s'\n\n",
+               args.command.c_str());
+  PrintUsage();
+  return 2;
+}
+
+}  // namespace
+}  // namespace grgad
+
+int main(int argc, char** argv) { return grgad::Main(argc, argv); }
