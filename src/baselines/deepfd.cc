@@ -7,6 +7,7 @@
 #include "src/metrics/classification.h"
 #include "src/nn/layers.h"
 #include "src/nn/optim.h"
+#include "src/tensor/arena.h"
 #include "src/util/rng.h"
 
 namespace grgad {
@@ -73,6 +74,10 @@ std::vector<ScoredGroup> DeepFd::DetectGroups(const Graph& g) const {
   const int d = static_cast<int>(g.attr_dim());
   Rng rng(options_.seed ^ 0x64656664ULL);
 
+  // Declared before any Var; see GcnGae::Fit.
+  MatrixArena local_arena;
+  ArenaScope arena_scope(TrainingFastPathEnabled() ? &local_arena : nullptr);
+
   // --- Embedding model: MLP encoder + decoder (no graph propagation; the
   // structure enters through the pairwise similarity loss). ---
   Mlp encoder({static_cast<size_t>(d), static_cast<size_t>(options_.hidden_dim),
@@ -110,6 +115,9 @@ std::vector<ScoredGroup> DeepFd::DetectGroups(const Graph& g) const {
   }
   Matrix pair_targets(pairs.size(), 1);
   for (size_t p = 0; p < num_pos; ++p) pair_targets(p, 0) = 1.0;
+  const auto shared_pairs =
+      std::make_shared<const std::vector<std::pair<int, int>>>(
+          std::move(pairs));
 
   const Var x(g.attributes(), /*requires_grad=*/false);
   Matrix final_embed, final_recon, final_pred;
@@ -118,7 +126,7 @@ std::vector<ScoredGroup> DeepFd::DetectGroups(const Graph& g) const {
     Var z = encoder.Forward(x);
     Var recon = decoder.Forward(z);
     Var loss_attr = MseLoss(recon, g.attributes());
-    Var pred = Sigmoid(PairInnerProduct(z, pairs));
+    Var pred = Sigmoid(PairInnerProduct(z, shared_pairs));
     Var loss_pair = MseLoss(pred, pair_targets);
     Var loss = Add(Scale(loss_pair, options_.pairwise_weight),
                    Scale(loss_attr, 1.0 - options_.pairwise_weight));
@@ -143,8 +151,8 @@ std::vector<ScoredGroup> DeepFd::DetectGroups(const Graph& g) const {
   }
   std::vector<double> pair_err(n, 0.0);
   std::vector<int> pair_count(n, 0);
-  for (size_t p = 0; p < pairs.size(); ++p) {
-    const auto [i, j] = pairs[p];
+  for (size_t p = 0; p < shared_pairs->size(); ++p) {
+    const auto [i, j] = (*shared_pairs)[p];
     const double err = std::fabs(final_pred(p, 0) - pair_targets(p, 0));
     pair_err[i] += err;
     pair_err[j] += err;

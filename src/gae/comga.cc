@@ -5,6 +5,7 @@
 #include "src/graph/operators.h"
 #include "src/nn/layers.h"
 #include "src/nn/optim.h"
+#include "src/tensor/arena.h"
 #include "src/util/rng.h"
 
 namespace grgad {
@@ -16,6 +17,10 @@ std::vector<double> ComGa::FitNodeScores(const Graph& g) const {
   const int n = g.num_nodes();
   const int d = static_cast<int>(g.attr_dim());
   Rng rng(options_.seed ^ 0x636f6d67ULL);
+
+  // Declared before any Var; see GcnGae::Fit.
+  MatrixArena local_arena;
+  ArenaScope arena_scope(TrainingFastPathEnabled() ? &local_arena : nullptr);
 
   const auto a_norm = NormalizedAdjacency(g);
   const Matrix b_proj =
@@ -64,6 +69,9 @@ std::vector<double> ComGa::FitNodeScores(const Graph& g) const {
   }
   Matrix pair_targets(pairs.size(), 1);
   for (size_t p = 0; p < num_pos; ++p) pair_targets(p, 0) = 1.0;
+  const auto shared_pairs =
+      std::make_shared<const std::vector<std::pair<int, int>>>(
+          std::move(pairs));
 
   const Var x(g.attributes(), /*requires_grad=*/false);
   const Var b(b_proj, /*requires_grad=*/false);
@@ -78,7 +86,7 @@ std::vector<double> ComGa::FitNodeScores(const Graph& g) const {
     Var h = Relu(enc1.Forward(a_norm, x));
     Var h_fused = Add(h, Scale(h_comm, 0.5));
     Var z = enc2.Forward(a_norm, h_fused);
-    Var pred = Sigmoid(PairInnerProduct(z, pairs));
+    Var pred = Sigmoid(PairInnerProduct(z, shared_pairs));
     Var loss_stru = MseLoss(pred, pair_targets);
     Var x_hat = attr_dec.Forward(z);
     Var loss_attr = MseLoss(x_hat, g.attributes());
@@ -97,8 +105,8 @@ std::vector<double> ComGa::FitNodeScores(const Graph& g) const {
   // Node scores: structure + attribute + community reconstruction errors.
   std::vector<double> stru(n, 0.0);
   std::vector<int> stru_count(n, 0);
-  for (size_t p = 0; p < pairs.size(); ++p) {
-    const auto [i, j] = pairs[p];
+  for (size_t p = 0; p < shared_pairs->size(); ++p) {
+    const auto [i, j] = (*shared_pairs)[p];
     const double err = std::fabs(final_pred(p, 0) - pair_targets(p, 0));
     stru[i] += err;
     stru[j] += err;

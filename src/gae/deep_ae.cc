@@ -5,6 +5,7 @@
 #include "src/graph/operators.h"
 #include "src/nn/layers.h"
 #include "src/nn/optim.h"
+#include "src/tensor/arena.h"
 #include "src/util/rng.h"
 
 namespace grgad {
@@ -38,6 +39,10 @@ std::vector<double> DeepAe::FitNodeScores(const Graph& g) const {
     for (int j = 0; j < d; ++j) irow[j] = xrow[j];
     for (int j = 0; j < sp; ++j) irow[d + j] = srow[j];
   }
+
+  // Declared before any Var; see GcnGae::Fit.
+  MatrixArena local_arena;
+  ArenaScope arena_scope(TrainingFastPathEnabled() ? &local_arena : nullptr);
 
   const size_t in_dim = static_cast<size_t>(d + sp);
   Mlp autoencoder({in_dim, static_cast<size_t>(options_.hidden_dim),

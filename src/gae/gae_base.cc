@@ -78,11 +78,25 @@ PairSet SamplePairs(const SparseMatrix& t, const GaeOptions& options,
   const int n = static_cast<int>(t.rows());
   PairSet out;
   std::vector<double> values;
+  // Packed (u, v) keys of the stored upper-triangle nonzeros: the
+  // negative-sampling rejection loop below probes membership once per
+  // attempt, and on dense targets like A^7 the per-attempt t.At(u, v)
+  // binary search made it O(attempts * log nnz(row)). One linear pass
+  // builds an O(1) probe; only u < v keys are ever queried (the loop skips
+  // u >= v draws), so lower-triangle/diagonal entries need not be stored.
+  // Stored zeros are skipped to match At(u, v) != 0.0 exactly.
+  std::unordered_set<uint64_t> present;
+  present.reserve(t.nnz() / 2 + 1);
+  const auto pack = [](int u, int v) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+           static_cast<uint32_t>(v);
+  };
   for (int i = 0; i < n; ++i) {
     auto cols = t.RowCols(i);
     auto vals = t.RowValues(i);
     for (size_t p = 0; p < cols.size(); ++p) {
       if (cols[p] <= i || vals[p] == 0.0) continue;
+      present.insert(pack(i, cols[p]));
       out.pairs.emplace_back(i, cols[p]);
       values.push_back(vals[p]);
     }
@@ -111,7 +125,7 @@ PairSet SamplePairs(const SparseMatrix& t, const GaeOptions& options,
     const int u = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
     const int v = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
     if (u >= v) continue;
-    if (t.At(u, v) != 0.0) continue;
+    if (present.count(pack(u, v)) != 0) continue;
     out.pairs.emplace_back(u, v);
     values.push_back(0.0);
     ++added;
@@ -134,10 +148,21 @@ GaeResult GcnGae::Fit(const Graph& g) const {
   const int d = static_cast<int>(g.attr_dim());
   Rng rng(options_.seed ^ 0x67616521ULL);
 
+  // Declared before any Var so every tape node (params included) is torn
+  // down before the arena; all matrix traffic below recycles through it.
+  MatrixArena local_arena;
+  MatrixArena* arena = options_.arena != nullptr ? options_.arena
+                       : TrainingFastPathEnabled() ? &local_arena
+                                                   : nullptr;
+  ArenaScope arena_scope(arena);
+
   const auto a_norm = NormalizedAdjacency(g);
   const SparseMatrix target = BuildTarget(g, options_);
   PairSet pair_set = SamplePairs(target, options_, &rng);
   GRGAD_CHECK(!pair_set.pairs.empty());
+  const auto shared_pairs =
+      std::make_shared<const std::vector<std::pair<int, int>>>(
+          std::move(pair_set.pairs));
 
   // Encoder: GCN(d -> hidden) ReLU -> GCN(hidden -> embed).
   GcnLayer enc1(d, options_.hidden_dim, &rng);
@@ -170,7 +195,7 @@ GaeResult GcnGae::Fit(const Graph& g) const {
     adam.ZeroGrad();
     Var h = Relu(enc1.Forward(a_norm, x));
     Var z = enc2.Forward(a_norm, h);
-    Var pred = Sigmoid(PairInnerProduct(z, pair_set.pairs));
+    Var pred = Sigmoid(PairInnerProduct(z, shared_pairs));
     Var loss_stru = MseLoss(pred, pair_set.targets);
     Var x_hat = attr_dec.Forward(z);
     Var loss_attr = MseLoss(x_hat, g.attributes());
@@ -189,8 +214,8 @@ GaeResult GcnGae::Fit(const Graph& g) const {
   // Per-node reconstruction errors over the sampled pairs (Eqn. 1 / 3).
   std::vector<double> stru(n, 0.0);
   std::vector<int> stru_count(n, 0);
-  for (size_t p = 0; p < pair_set.pairs.size(); ++p) {
-    const auto [i, j] = pair_set.pairs[p];
+  for (size_t p = 0; p < shared_pairs->size(); ++p) {
+    const auto [i, j] = (*shared_pairs)[p];
     const double err = std::fabs(final_pred(p, 0) - pair_set.targets(p, 0));
     stru[i] += err;
     stru[j] += err;

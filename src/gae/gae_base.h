@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/tensor/arena.h"
 #include "src/tensor/matrix.h"
 #include "src/util/cancel.h"
 
@@ -66,6 +67,12 @@ struct GaeOptions {
   /// callers that handed out the token must check it before consuming the
   /// result.
   CancelToken cancel;
+  /// Optional caller-owned buffer arena (must outlive Fit). When null and
+  /// the training fast path is on, Fit installs a run-local arena; either
+  /// way steady-state epochs reuse buffers instead of reallocating them.
+  /// Passing an arena lets callers (benchmarks, multi-fit pipelines)
+  /// inspect allocation stats and share warm buffers across fits.
+  MatrixArena* arena = nullptr;
 };
 
 /// Everything a fitted GAE exposes.

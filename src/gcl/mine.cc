@@ -66,11 +66,10 @@ Var MineLoss(const MineEstimator& phi, const Var& z_pos, const Var& z_neg,
   const double correction =
       std::log(static_cast<double>(m - 1) / static_cast<double>(k)) -
       std::log(static_cast<double>(m));
-  // L = -term1 + (lse + correction).
+  // L = -term1 + (lse + correction). AddScalar folds the constant without
+  // materializing a per-epoch leaf node (same addition, bitwise).
   Var loss = Add(Scale(term1, -1.0), lse);
-  Matrix c(1, 1);
-  c(0, 0) = correction;
-  return Add(loss, Var(c, /*requires_grad=*/false));
+  return AddScalar(loss, correction);
 }
 
 }  // namespace grgad

@@ -14,22 +14,34 @@ GraphBatch BuildGraphBatch(const std::vector<Graph>& graphs) {
   GRGAD_CHECK(!graphs.empty());
   const size_t d = graphs[0].attr_dim();
   size_t total = 0;
+  // Normalize each member adjacency up front: the nnz totals size the
+  // triplet buffers exactly (no reallocation), and the emission order below
+  // is (row, col)-sorted — block-diagonal blocks in ascending row order,
+  // CSR rows already sorted within — so FromTriplets takes its no-sort
+  // fast path.
+  std::vector<std::shared_ptr<const SparseMatrix>> a_norms;
+  a_norms.reserve(graphs.size());
+  size_t total_nnz = 0;
   for (const Graph& g : graphs) {
     GRGAD_CHECK_EQ(g.attr_dim(), d);
     GRGAD_CHECK_GT(g.num_nodes(), 0);
     total += static_cast<size_t>(g.num_nodes());
+    a_norms.push_back(NormalizedAdjacency(g));
+    total_nnz += a_norms.back()->nnz();
   }
   GraphBatch batch;
   batch.x = Matrix(total, d);
   std::vector<Triplet> op_triplets;
+  op_triplets.reserve(total_nnz);
   std::vector<Triplet> pool_triplets;
+  pool_triplets.reserve(total);
   size_t offset = 0;
   for (size_t gi = 0; gi < graphs.size(); ++gi) {
     const Graph& g = graphs[gi];
-    const auto a_norm = NormalizedAdjacency(g);
-    for (size_t i = 0; i < a_norm->rows(); ++i) {
-      auto cols = a_norm->RowCols(i);
-      auto vals = a_norm->RowValues(i);
+    const SparseMatrix& a_norm = *a_norms[gi];
+    for (size_t i = 0; i < a_norm.rows(); ++i) {
+      auto cols = a_norm.RowCols(i);
+      auto vals = a_norm.RowValues(i);
       for (size_t p = 0; p < cols.size(); ++p) {
         op_triplets.push_back({static_cast<int>(offset + i),
                                static_cast<int>(offset + cols[p]), vals[p]});
@@ -60,6 +72,13 @@ TpgclResult Tpgcl::FitEmbed(
   const int m = static_cast<int>(groups.size());
   const int d = static_cast<int>(host.attr_dim());
   Rng rng(options_.seed ^ 0x7470676cULL);
+
+  // Declared before any Var; see GcnGae::Fit.
+  MatrixArena local_arena;
+  MatrixArena* arena = options_.arena != nullptr ? options_.arena
+                       : TrainingFastPathEnabled() ? &local_arena
+                                                   : nullptr;
+  ArenaScope arena_scope(arena);
 
   // --- Views: pattern search + one PPA and one PBA view per group. ---
   std::vector<Graph> originals, positives, negatives;

@@ -19,6 +19,7 @@
 
 #include "src/gcl/augmentations.h"
 #include "src/graph/graph.h"
+#include "src/tensor/arena.h"
 #include "src/tensor/matrix.h"
 #include "src/tensor/sparse.h"
 #include "src/util/cancel.h"
@@ -44,6 +45,9 @@ struct TpgclOptions {
   /// embeddings); callers that handed out the token must check it before
   /// consuming the result.
   CancelToken cancel;
+  /// Optional caller-owned buffer arena (must outlive FitEmbed); see
+  /// GaeOptions::arena.
+  MatrixArena* arena = nullptr;
 };
 
 /// Fit output: per-group embeddings (row i = groups[i]) + loss curve.

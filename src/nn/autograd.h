@@ -25,21 +25,55 @@
 
 namespace grgad {
 
+class MatrixArena;
+class Var;
+
 namespace internal {
 
 /// Tape node: value, accumulated gradient, and the backward closure.
+///
+/// Nodes created while an ArenaScope is installed remember the arena and
+/// return their value and gradient buffers to it on destruction (graph
+/// teardown at the end of an epoch), which is what makes steady-state
+/// training epochs heap-allocation-free. Such nodes must not outlive the
+/// arena; training loops guarantee this by declaring the arena before any
+/// Vars.
 struct VarNode {
   Matrix value;
   Matrix grad;  // Empty until first accumulation.
   bool requires_grad = false;
+  // ZeroGrad with the fast path on keeps the gradient buffer and sets this
+  // instead of freeing; the next AccumulateGrad overwrites in place.
+  bool grad_zero = false;
   uint64_t id = 0;  // Monotonic creation index; defines topological order.
+  MatrixArena* arena = nullptr;  // Recycles value/grad on teardown when set.
   std::vector<std::shared_ptr<VarNode>> parents;
   // Invoked with this node's output gradient; accumulates into parents.
   std::function<void(const Matrix&)> backward_fn;
 
-  /// Adds g into grad (allocating on first use). Shape-checked.
+  ~VarNode();
+
+  /// True when a gradient has been accumulated since the last ZeroGrad.
+  bool has_grad() const { return !grad.empty() && !grad_zero; }
+
+  /// Adds g into grad: first accumulation copies (arena-backed when the
+  /// node has an arena), later ones run the in-place AXPY kernel.
+  /// Shape-checked.
   void AccumulateGrad(const Matrix& g);
+  /// Move form for single-use scratch: a first accumulation adopts g's
+  /// buffer outright (no copy); otherwise falls back to the const-ref path
+  /// and leaves g intact. Callers release g afterwards either way — an
+  /// adopted (moved-from) matrix is empty and the release is a no-op.
+  void AccumulateGrad(Matrix&& g);
 };
+
+/// Creates an interior (op-output) node: requires_grad is the OR over
+/// parents, and parent links are recorded only when it is set. The caller
+/// attaches backward_fn afterwards (this is what lets closures capture the
+/// node's own pointer, e.g. to read the op output in backward without
+/// copying it). Exposed so layers.cc can define fused ops.
+std::shared_ptr<VarNode> NewInteriorNode(Matrix value,
+                                         const std::vector<Var>& parents);
 
 }  // namespace internal
 
@@ -60,14 +94,19 @@ class Var {
   const Matrix& value() const;
   /// Mutable access to the value; used by optimizers for in-place updates.
   Matrix& mutable_value();
-  /// Accumulated gradient; empty Matrix if none was propagated.
+  /// Accumulated gradient; a reference to an empty Matrix if none was
+  /// propagated since the last ZeroGrad (the cleared buffer itself may be
+  /// retained internally for reuse — see ZeroGrad).
   const Matrix& grad() const;
   bool requires_grad() const;
 
   size_t rows() const { return value().rows(); }
   size_t cols() const { return value().cols(); }
 
-  /// Clears the accumulated gradient (deallocates).
+  /// Clears the accumulated gradient. With the training fast path on (the
+  /// default) the buffer is kept and marked cleared so the next epoch's
+  /// first accumulation overwrites it in place; otherwise it is freed, as
+  /// the seed did. grad() reports empty either way.
   void ZeroGrad();
 
   /// Runs reverse-mode differentiation from this node, which must hold a
@@ -116,6 +155,8 @@ Var Sub(const Var& a, const Var& b);
 Var Mul(const Var& a, const Var& b);
 /// a * scalar.
 Var Scale(const Var& a, double s);
+/// a + scalar, elementwise (gradient passes through unchanged).
+Var AddScalar(const Var& a, double s);
 /// Adds the 1 x cols row vector `bias` to every row of a.
 Var AddRowBroadcast(const Var& a, const Var& bias);
 
@@ -140,12 +181,25 @@ Var MeanAll(const Var& a);
 /// Sum of squared entries -> 1x1 (L2 penalty building block).
 Var SumSquares(const Var& a);
 
-/// Mean squared error against a constant target -> 1x1.
+/// Mean squared error against a constant target -> 1x1. `target` is
+/// captured by reference and must outlive Backward() (training loops hold
+/// their targets across all epochs; capturing a copy per epoch was the
+/// single largest non-arena allocation of the epoch loop). The deleted
+/// rvalue overload rejects temporaries at compile time.
 Var MseLoss(const Var& pred, const Matrix& target);
+Var MseLoss(const Var& pred, Matrix&& target) = delete;
 /// Per-entry weighted MSE against a constant target -> 1x1:
 /// mean(w .* (pred - target)^2). `weights` must match pred's shape.
+/// `target` and `weights` must outlive Backward() (see MseLoss;
+/// temporaries are rejected at compile time).
 Var WeightedMseLoss(const Var& pred, const Matrix& target,
                     const Matrix& weights);
+Var WeightedMseLoss(const Var& pred, Matrix&& target,
+                    const Matrix& weights) = delete;
+Var WeightedMseLoss(const Var& pred, const Matrix& target,
+                    Matrix&& weights) = delete;
+Var WeightedMseLoss(const Var& pred, Matrix&& target, Matrix&& weights) =
+    delete;
 
 /// Gathers rows (duplicates allowed); backward scatter-adds.
 Var GatherRows(const Var& a, std::vector<int> rows);
@@ -165,6 +219,12 @@ Var Reshape(const Var& a, size_t r, size_t c);
 /// out_p = dot(z[i_p], z[j_p]) for each pair -> p x 1. The inner-product
 /// structure decoder of GAE, evaluated only on sampled pairs.
 Var PairInnerProduct(const Var& z, std::vector<std::pair<int, int>> pairs);
+/// Shared-ownership overload: epoch loops that reuse one fixed pair list
+/// should build the shared_ptr once — the by-value overload copies the
+/// list into the tape on every call.
+Var PairInnerProduct(
+    const Var& z,
+    std::shared_ptr<const std::vector<std::pair<int, int>>> pairs);
 
 /// Mean of the main diagonal of a square matrix -> 1x1.
 Var DiagMean(const Var& a);

@@ -17,6 +17,16 @@ class Rng;
 /// Glorot/Xavier uniform initialization: U(-sqrt(6/(in+out)), +...).
 Matrix GlorotUniform(size_t in_dim, size_t out_dim, Rng* rng);
 
+/// Fused bias-broadcast + ReLU: out = max(0, a + bias) with `bias` a
+/// 1 x a.cols() row vector, as a single tape node. One pass over the
+/// activations forward and backward instead of the AddRowBroadcast + Relu
+/// pair (which materialized the pre-activation and a second gradient
+/// buffer every epoch). Bitwise identical to Relu(AddRowBroadcast(a, bias))
+/// in both directions: the forward applies the same add-then-clamp per
+/// element, and the backward masks the incoming gradient by output > 0 —
+/// exactly the pre-activation > 0 test, since relu(x) > 0 iff x > 0.
+Var BiasReluFused(const Var& a, const Var& bias);
+
 /// Fully connected layer: y = x W + b.
 class Linear {
  public:
@@ -26,11 +36,18 @@ class Linear {
   /// x: n x in_dim -> n x out_dim.
   Var Forward(const Var& x) const;
 
+  /// x W without the bias term; callers (e.g. Mlp's fused bias+ReLU path)
+  /// apply the bias themselves.
+  Var ForwardNoBias(const Var& x) const;
+
   /// Trainable parameter handles (shared with the optimizer).
   std::vector<Var> Params() const;
 
   size_t in_dim() const { return in_dim_; }
   size_t out_dim() const { return out_dim_; }
+  bool has_bias() const { return bias_.defined(); }
+  /// The 1 x out_dim bias parameter; must only be called when has_bias().
+  const Var& bias() const { return bias_; }
 
  private:
   size_t in_dim_;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "src/tensor/arena.h"
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 
 namespace grgad {
 
@@ -19,7 +21,9 @@ Adam::Adam(std::vector<Var> params, AdamOptions options)
 
 void Adam::Step() {
   ++t_;
-  // Optional global-norm clipping across all parameter gradients.
+  // Optional global-norm clipping across all parameter gradients. Kept in
+  // the seed's exact form (per-parameter FrobeniusNorm, then re-squared)
+  // so the clip scale is bitwise reproducible.
   double scale = 1.0;
   if (options_.clip_grad_norm > 0.0) {
     double total_sq = 0.0;
@@ -35,25 +39,43 @@ void Adam::Step() {
   }
   const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  const double beta1 = options_.beta1;
+  const double beta2 = options_.beta2;
+  const double lr = options_.lr;
+  const double eps = options_.eps;
+  const double weight_decay = options_.weight_decay;
+  const bool fast = TrainingFastPathEnabled();
   for (size_t k = 0; k < params_.size(); ++k) {
     Var& p = params_[k];
     if (p.grad().empty()) continue;
-    Matrix& value = p.mutable_value();
-    const Matrix& g = p.grad();
-    Matrix& m = m_[k];
-    Matrix& v = v_[k];
-    for (size_t i = 0; i < value.size(); ++i) {
-      const double gi = g.data()[i] * scale;
-      m.data()[i] = options_.beta1 * m.data()[i] + (1.0 - options_.beta1) * gi;
-      v.data()[i] =
-          options_.beta2 * v.data()[i] + (1.0 - options_.beta2) * gi * gi;
-      const double m_hat = m.data()[i] / bc1;
-      const double v_hat = v.data()[i] / bc2;
-      double update = options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
-      if (options_.weight_decay > 0.0) {
-        update += options_.lr * options_.weight_decay * value.data()[i];
+    // Single fused pass: clip scale, moment updates, bias correction, and
+    // the (optionally weight-decayed) parameter update per element, chunked
+    // over the pool. Chunking splits only the flat index range and every
+    // element's arithmetic is independent, so the result is bitwise
+    // identical to the seed's serial loop.
+    double* __restrict value = p.mutable_value().data();
+    const double* __restrict g = p.grad().data();
+    double* __restrict m = m_[k].data();
+    double* __restrict v = v_[k].data();
+    const size_t size = p.mutable_value().size();
+    auto update_range = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const double gi = g[i] * scale;
+        m[i] = beta1 * m[i] + (1.0 - beta1) * gi;
+        v[i] = beta2 * v[i] + (1.0 - beta2) * gi * gi;
+        const double m_hat = m[i] / bc1;
+        const double v_hat = v[i] / bc2;
+        double update = lr * m_hat / (std::sqrt(v_hat) + eps);
+        if (weight_decay > 0.0) {
+          update += lr * weight_decay * value[i];
+        }
+        value[i] -= update;
       }
-      value.data()[i] -= update;
+    };
+    if (fast) {
+      ParallelFor(size, kElementwiseParallelGrain, update_range);
+    } else {
+      update_range(0, size);
     }
   }
 }
@@ -70,12 +92,20 @@ Sgd::Sgd(std::vector<Var> params, double lr)
 }
 
 void Sgd::Step() {
+  const bool fast = TrainingFastPathEnabled();
   for (Var& p : params_) {
     if (p.grad().empty()) continue;
-    Matrix& value = p.mutable_value();
-    const Matrix& g = p.grad();
-    for (size_t i = 0; i < value.size(); ++i) {
-      value.data()[i] -= lr_ * g.data()[i];
+    double* __restrict value = p.mutable_value().data();
+    const double* __restrict g = p.grad().data();
+    const size_t size = p.mutable_value().size();
+    const double lr = lr_;
+    auto update_range = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) value[i] -= lr * g[i];
+    };
+    if (fast) {
+      ParallelFor(size, kElementwiseParallelGrain, update_range);
+    } else {
+      update_range(0, size);
     }
   }
 }

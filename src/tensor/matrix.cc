@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/tensor/arena.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
 
@@ -39,15 +40,76 @@ Matrix Matrix::Gaussian(size_t rows, size_t cols, Rng* rng, double mean,
   return out;
 }
 
-Matrix& Matrix::operator+=(const Matrix& other) {
+namespace {
+
+/// Chunked elementwise combine: dst[i] = f(dst[i], src[i]). Chunking only
+/// splits the flat index range, so results match the serial loop bitwise.
+/// No __restrict: self-application (`m += m`) is legal, exactly as it was
+/// for the seed's plain loops (per-element load-then-store is well defined
+/// under full aliasing).
+template <typename F>
+void ElementwiseInPlace(double* dst, const double* src, size_t size, F&& f) {
+  if (size < 2 * kElementwiseParallelGrain) {
+    for (size_t i = 0; i < size; ++i) dst[i] = f(dst[i], src[i]);
+  } else {
+    ParallelFor(size, kElementwiseParallelGrain,
+                [&](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    dst[i] = f(dst[i], src[i]);
+                  }
+                });
+  }
+}
+
+/// Chunked elementwise binary kernel: out[i] = f(a[i], b[i]).
+template <typename F>
+void ElementwiseInto(const double* __restrict a, const double* __restrict b,
+                     double* __restrict out, size_t size, F&& f) {
+  if (size < 2 * kElementwiseParallelGrain) {
+    for (size_t i = 0; i < size; ++i) out[i] = f(a[i], b[i]);
+  } else {
+    ParallelFor(size, kElementwiseParallelGrain,
+                [&](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) out[i] = f(a[i], b[i]);
+                });
+  }
+}
+
+}  // namespace
+
+void Matrix::AddInPlace(const Matrix& other) {
   GRGAD_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  ElementwiseInPlace(data_.data(), other.data_.data(), data_.size(),
+                     [](double x, double y) { return x + y; });
+}
+
+void Matrix::SubInPlace(const Matrix& other) {
+  GRGAD_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  ElementwiseInPlace(data_.data(), other.data_.data(), data_.size(),
+                     [](double x, double y) { return x - y; });
+}
+
+void Matrix::MulInPlace(const Matrix& other) {
+  GRGAD_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  ElementwiseInPlace(data_.data(), other.data_.data(), data_.size(),
+                     [](double x, double y) { return x * y; });
+}
+
+void Matrix::CopyFrom(const Matrix& other) {
+  GRGAD_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  if (!data_.empty()) {
+    std::memcpy(data_.data(), other.data_.data(),
+                data_.size() * sizeof(double));
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  AddInPlace(other);
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
-  GRGAD_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  SubInPlace(other);
   return *this;
 }
 
@@ -67,29 +129,36 @@ Matrix Matrix::Hadamard(const Matrix& other) const {
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
+  TransposeInto(*this, &out);
+  return out;
+}
+
+void TransposeInto(const Matrix& a, Matrix* out) {
+  GRGAD_CHECK(out != nullptr && out->rows() == a.cols() &&
+              out->cols() == a.rows());
   // 32x32 tiles: both the source rows and the (strided) destination columns
   // of a tile stay cache-resident, instead of striding through the full
   // destination once per source row. Tiles write disjoint output, so the
   // parallel version is bitwise identical to the serial one.
   constexpr size_t kTile = 32;
-  const size_t row_tiles = (rows_ + kTile - 1) / kTile;
-  double* od = out.data_.data();
+  const size_t rows = a.rows(), cols = a.cols();
+  const size_t row_tiles = (rows + kTile - 1) / kTile;
+  double* od = out->data();
   ParallelFor(row_tiles, 4, [&](size_t tile_begin, size_t tile_end) {
     for (size_t t = tile_begin; t < tile_end; ++t) {
       const size_t i0 = t * kTile;
-      const size_t in = std::min(kTile, rows_ - i0);
-      for (size_t j0 = 0; j0 < cols_; j0 += kTile) {
-        const size_t jn = std::min(kTile, cols_ - j0);
+      const size_t in = std::min(kTile, rows - i0);
+      for (size_t j0 = 0; j0 < cols; j0 += kTile) {
+        const size_t jn = std::min(kTile, cols - j0);
         for (size_t i = 0; i < in; ++i) {
-          const double* src = RowPtr(i0 + i) + j0;
+          const double* src = a.RowPtr(i0 + i) + j0;
           for (size_t j = 0; j < jn; ++j) {
-            od[(j0 + j) * rows_ + i0 + i] = src[j];
+            od[(j0 + j) * rows + i0 + i] = src[j];
           }
         }
       }
     }
   });
-  return out;
 }
 
 Matrix Matrix::Map(const std::function<double(double)>& f) const {
@@ -162,11 +231,17 @@ double Matrix::RowNorm(size_t i) const {
 
 Matrix Matrix::GatherRows(const std::vector<int>& rows) const {
   Matrix out(rows.size(), cols_);
+  GatherRowsInto(rows, &out);
+  return out;
+}
+
+void Matrix::GatherRowsInto(const std::vector<int>& rows, Matrix* out) const {
+  GRGAD_CHECK(out != nullptr && out->rows_ == rows.size() &&
+              out->cols_ == cols_);
   for (size_t i = 0; i < rows.size(); ++i) {
     GRGAD_CHECK(rows[i] >= 0 && static_cast<size_t>(rows[i]) < rows_);
-    std::memcpy(out.RowPtr(i), RowPtr(rows[i]), cols_ * sizeof(double));
+    std::memcpy(out->RowPtr(i), RowPtr(rows[i]), cols_ * sizeof(double));
   }
-  return out;
 }
 
 void Matrix::SetRow(size_t i, const std::vector<double>& row) {
@@ -314,16 +389,49 @@ void MatMulPanel(const double* __restrict ad, const double* __restrict bd,
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   GRGAD_CHECK_EQ(a.cols(), b.rows());
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Matrix out(m, n);
+  Matrix out(a.rows(), b.cols());
+  // A fresh Matrix is already zeroed; run the panels directly.
+  const size_t k = a.cols(), n = b.cols();
   const double* ad = a.data();
   const double* bd = b.data();
   double* od = out.data();
-  ParallelFor(m, 2 * kTileRows, [&](size_t begin, size_t end) {
+  ParallelFor(a.rows(), 2 * kTileRows, [&](size_t begin, size_t end) {
     MatMulPanel(ad, bd, od, begin, end, k, n);
   });
   return out;
 }
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  GRGAD_CHECK_EQ(a.cols(), b.rows());
+  GRGAD_CHECK(out != nullptr && out->rows() == a.rows() &&
+              out->cols() == b.cols());
+  // The tail kernels accumulate into the output, so clear stale contents
+  // first; full register tiles overwrite regardless. Bitwise identical to
+  // the allocating MatMul, whose fresh output is zeroed the same way.
+  out->Fill(0.0);
+  const size_t k = a.cols(), n = b.cols();
+  const double* ad = a.data();
+  const double* bd = b.data();
+  double* od = out->data();
+  ParallelFor(a.rows(), 2 * kTileRows, [&](size_t begin, size_t end) {
+    MatMulPanel(ad, bd, od, begin, end, k, n);
+  });
+}
+
+namespace {
+
+/// Materializes `m`'s transpose in an arena-backed scratch when an arena is
+/// installed (the transpose is fully overwritten, so stale contents are
+/// fine) and hands it to `fn`, returning the scratch afterwards.
+template <typename Fn>
+void WithTransposed(const Matrix& m, Fn&& fn) {
+  Matrix mt = arena::Uninit(m.cols(), m.rows());
+  TransposeInto(m, &mt);
+  fn(mt);
+  arena::Recycle(std::move(mt));
+}
+
+}  // namespace
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   GRGAD_CHECK_EQ(a.cols(), b.cols());
@@ -334,7 +442,16 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   // but the compiler may contract FMAs differently in the two loop shapes,
   // so agreement with the reference kernel is ~1e-13, not bitwise (results
   // ARE bitwise stable across thread counts and runs).
-  return MatMul(a, b.Transpose());
+  Matrix out(a.rows(), b.rows());
+  MatMulTransposeBInto(a, b, &out);
+  return out;
+}
+
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  GRGAD_CHECK_EQ(a.cols(), b.cols());
+  GRGAD_CHECK(out != nullptr && out->rows() == a.rows() &&
+              out->cols() == b.rows());
+  WithTransposed(b, [&](const Matrix& bt) { MatMulInto(a, bt, out); });
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
@@ -344,7 +461,44 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   // partition needs no cross-thread accumulator merging and keeps ascending-k
   // accumulation per element (agreement with the reference kernel within
   // ~1e-13 — see MatMulTransposeB about FMA contraction).
-  return MatMul(a.Transpose(), b);
+  Matrix out(a.cols(), b.cols());
+  MatMulTransposeAInto(a, b, &out);
+  return out;
+}
+
+void MatMulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  GRGAD_CHECK_EQ(a.rows(), b.rows());
+  GRGAD_CHECK(out != nullptr && out->rows() == a.cols() &&
+              out->cols() == b.cols());
+  WithTransposed(a, [&](const Matrix& at) { MatMulInto(at, b, out); });
+}
+
+void AddInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  GRGAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  GRGAD_CHECK(out != nullptr && out->rows() == a.rows() &&
+              out->cols() == a.cols());
+  ElementwiseInto(a.data(), b.data(), out->data(), a.size(),
+                  [](double x, double y) { return x + y; });
+}
+
+void SubInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  GRGAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  GRGAD_CHECK(out != nullptr && out->rows() == a.rows() &&
+              out->cols() == a.cols());
+  ElementwiseInto(a.data(), b.data(), out->data(), a.size(),
+                  [](double x, double y) { return x - y; });
+}
+
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  GRGAD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  GRGAD_CHECK(out != nullptr && out->rows() == a.rows() &&
+              out->cols() == a.cols());
+  ElementwiseInto(a.data(), b.data(), out->data(), a.size(),
+                  [](double x, double y) { return x * y; });
+}
+
+void ScaledInto(const Matrix& a, double s, Matrix* out) {
+  a.MapToFn(out, [s](double v) { return v * s; });
 }
 
 }  // namespace grgad

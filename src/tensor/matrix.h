@@ -21,6 +21,10 @@ namespace grgad {
 
 class Rng;
 
+// Elementwise kernels only go parallel above 2x this many elements; below it
+// the dispatch (one std::function capture + pool notify) would dominate.
+inline constexpr size_t kElementwiseParallelGrain = 1 << 14;
+
 /// Dense rows x cols matrix, row-major, zero-initialized by default.
 class Matrix {
  public:
@@ -69,11 +73,26 @@ class Matrix {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
-  /// In-place elementwise arithmetic; shapes must match.
+  /// In-place elementwise arithmetic; shapes must match. operator+= runs the
+  /// chunked AddInPlace kernel below.
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
   /// In-place scalar multiply.
   Matrix& operator*=(double s);
+
+  /// this += other, as a pool-chunked AXPY over the flat data (bitwise
+  /// identical to the serial loop — chunking only splits the index range).
+  /// This is the gradient-accumulation kernel of autograd. `other` may
+  /// alias this (e.g. `m += m`).
+  void AddInPlace(const Matrix& other);
+  /// this -= other (chunked like AddInPlace; aliasing allowed).
+  void SubInPlace(const Matrix& other);
+  /// this = this .* other, elementwise in place (chunked like AddInPlace;
+  /// aliasing allowed).
+  void MulInPlace(const Matrix& other);
+
+  /// Overwrites this (same shape required) with other's entries.
+  void CopyFrom(const Matrix& other);
 
   /// Elementwise (Hadamard) product; shapes must match.
   Matrix Hadamard(const Matrix& other) const;
@@ -122,6 +141,24 @@ class Matrix {
     }
   }
 
+  /// Destination-passing MapFn: writes f applied elementwise into `out`,
+  /// which must already have this matrix's shape (every element is
+  /// overwritten). Chunking matches MapFn, so results are bitwise equal.
+  template <typename F>
+  void MapToFn(Matrix* out, F&& f) const {
+    GRGAD_CHECK(out != nullptr && out->rows_ == rows_ && out->cols_ == cols_);
+    const double* __restrict src = data_.data();
+    double* __restrict dst = out->data_.data();
+    const size_t size = data_.size();
+    if (size < 2 * kMapParallelGrain) {
+      for (size_t i = 0; i < size; ++i) dst[i] = f(src[i]);
+    } else {
+      ParallelFor(size, kMapParallelGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) dst[i] = f(src[i]);
+      });
+    }
+  }
+
   /// Fills all entries with `v`.
   void Fill(double v);
 
@@ -145,6 +182,9 @@ class Matrix {
 
   /// Gathers the given rows (duplicates allowed) into a new matrix.
   Matrix GatherRows(const std::vector<int>& rows) const;
+  /// Destination-passing GatherRows; out must be rows.size() x cols() and
+  /// is fully overwritten. Row indices are bounds-checked.
+  void GatherRowsInto(const std::vector<int>& rows, Matrix* out) const;
 
   /// Copies `row` (length cols()) into row i.
   void SetRow(size_t i, const std::vector<double>& row);
@@ -156,9 +196,7 @@ class Matrix {
   std::string ToString(int max_rows = 8, int max_cols = 8) const;
 
  private:
-  // Elementwise maps only go parallel above 2x this many elements; below it
-  // the dispatch (one std::function capture + pool notify) would dominate.
-  static constexpr size_t kMapParallelGrain = 1 << 14;
+  static constexpr size_t kMapParallelGrain = kElementwiseParallelGrain;
 
   size_t rows_;
   size_t cols_;
@@ -180,6 +218,35 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
 
 /// a(k x m)^T * b(k x n) -> m x n. Avoids materializing a^T.
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+// ---------------------------------------------------------------------------
+// Destination-passing kernels.
+//
+// These write into a caller-provided, correctly shaped output instead of
+// allocating one, so arena-backed callers (src/nn/autograd.cc) can reuse
+// buffers across training epochs. Every kernel fully defines its output
+// (stale contents are overwritten or zeroed first) and runs the exact same
+// accumulation order as its allocating twin, so results are bitwise equal.
+// ---------------------------------------------------------------------------
+
+/// out = a * b; out must be a.rows() x b.cols().
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = a * b^T; out must be a.rows() x b.rows(). Scratch for the
+/// materialized transpose comes from the current arena when one is
+/// installed.
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = a^T * b; out must be a.cols() x b.cols().
+void MatMulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = a^T; out must be a.cols() x a.rows().
+void TransposeInto(const Matrix& a, Matrix* out);
+/// out = a + b (all three the same shape; out may not alias a or b).
+void AddInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = a - b (all three the same shape; out may not alias a or b).
+void SubInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = a .* b (all three the same shape; out may not alias a or b).
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = a * s (same shape; out may not alias a).
+void ScaledInto(const Matrix& a, double s, Matrix* out);
 
 }  // namespace grgad
 

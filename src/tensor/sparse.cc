@@ -89,11 +89,25 @@ double SparseMatrix::At(size_t i, size_t j) const {
 
 Matrix SparseMatrix::Spmm(const Matrix& dense) const {
   GRGAD_CHECK_EQ(cols_, dense.rows());
+  Matrix out(rows_, dense.cols());
+  SpmmIntoPrezeroed(dense, &out);
+  return out;
+}
+
+void SparseMatrix::SpmmInto(const Matrix& dense, Matrix* out) const {
+  GRGAD_CHECK_EQ(cols_, dense.rows());
+  GRGAD_CHECK(out != nullptr && out->rows() == rows_ &&
+              out->cols() == dense.cols());
+  out->Fill(0.0);
+  SpmmIntoPrezeroed(dense, out);
+}
+
+/// Row-parallel CSR gather accumulating into a zeroed `out`.
+void SparseMatrix::SpmmIntoPrezeroed(const Matrix& dense, Matrix* out) const {
   const size_t n = dense.cols();
-  Matrix out(rows_, n);
   ParallelFor(rows_, 256, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      double* __restrict orow = out.RowPtr(i);
+      double* __restrict orow = out->RowPtr(i);
       for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
         const double v = values_[p];
         const double* __restrict drow = dense.RowPtr(col_idx_[p]);
@@ -101,7 +115,6 @@ Matrix SparseMatrix::Spmm(const Matrix& dense) const {
       }
     }
   });
-  return out;
 }
 
 const SparseMatrix& SparseMatrix::TransposedView() const {
@@ -123,18 +136,36 @@ Matrix SparseMatrix::SpmmTransposeThis(const Matrix& dense) const {
   // gather's random loads stall the FMA chain. Both visit each output
   // element's terms in ascending source-row order, so the choice (and the
   // thread count) never changes results bitwise.
-  if (ParallelismDegree() > 1) return TransposedView().Spmm(dense);
+  Matrix out(cols_, dense.cols());
+  SpmmTransposeThisIntoPrezeroed(dense, &out);
+  return out;
+}
+
+void SparseMatrix::SpmmTransposeThisInto(const Matrix& dense,
+                                         Matrix* out) const {
+  GRGAD_CHECK_EQ(rows_, dense.rows());
+  GRGAD_CHECK(out != nullptr && out->rows() == cols_ &&
+              out->cols() == dense.cols());
+  out->Fill(0.0);
+  SpmmTransposeThisIntoPrezeroed(dense, out);
+}
+
+/// Kernel choice and accumulation order documented at SpmmTransposeThis.
+void SparseMatrix::SpmmTransposeThisIntoPrezeroed(const Matrix& dense,
+                                                  Matrix* out) const {
+  if (ParallelismDegree() > 1) {
+    TransposedView().SpmmIntoPrezeroed(dense, out);
+    return;
+  }
   const size_t n = dense.cols();
-  Matrix out(cols_, n);
   for (size_t i = 0; i < rows_; ++i) {
     const double* __restrict drow = dense.RowPtr(i);
     for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
       const double v = values_[p];
-      double* __restrict orow = out.RowPtr(col_idx_[p]);
+      double* __restrict orow = out->RowPtr(col_idx_[p]);
       for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
     }
   }
-  return out;
 }
 
 SparseMatrix SparseMatrix::Transpose() const {

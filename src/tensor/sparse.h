@@ -84,6 +84,11 @@ class SparseMatrix {
   /// Sparse * dense -> dense (rows x dense.cols()); parallel over rows.
   Matrix Spmm(const Matrix& dense) const;
 
+  /// Destination-passing Spmm: writes this * dense into `out` (must be
+  /// rows() x dense.cols(); stale contents are cleared first). Bitwise
+  /// identical to Spmm; lets arena-backed callers reuse the output buffer.
+  void SpmmInto(const Matrix& dense, Matrix* out) const;
+
   /// this^T * dense -> dense (cols x dense.cols()); used by autograd backward
   /// of Spmm. Runs as a row-parallel gather over a transposed copy of this
   /// matrix that is built once (thread-safely) on first call and reused —
@@ -92,6 +97,11 @@ class SparseMatrix {
   /// order per output row, exactly the seed scatter's accumulation order, so
   /// results are bitwise identical to the serial reference kernel.
   Matrix SpmmTransposeThis(const Matrix& dense) const;
+
+  /// Destination-passing SpmmTransposeThis: writes this^T * dense into
+  /// `out` (must be cols() x dense.cols(); stale contents are cleared
+  /// first). Bitwise identical to SpmmTransposeThis.
+  void SpmmTransposeThisInto(const Matrix& dense, Matrix* out) const;
 
   /// Transposed copy (CSR of the transpose); O(nnz + rows + cols) counting
   /// sort, no triplet round-trip.
@@ -120,6 +130,10 @@ class SparseMatrix {
  private:
   /// Returns the cached transpose, building it under cache_mu_ if absent.
   const SparseMatrix& TransposedView() const;
+
+  /// Gather kernels accumulating into an already-zeroed output.
+  void SpmmIntoPrezeroed(const Matrix& dense, Matrix* out) const;
+  void SpmmTransposeThisIntoPrezeroed(const Matrix& dense, Matrix* out) const;
 
   size_t rows_;
   size_t cols_;

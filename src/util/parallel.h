@@ -13,8 +13,16 @@
 namespace grgad {
 
 /// Number of worker threads used by ParallelFor (>= 1). Initialized from
-/// hardware_concurrency, overridable via GRGAD_THREADS.
+/// hardware_concurrency, overridable via GRGAD_THREADS or
+/// SetParallelismDegree.
 int ParallelismDegree();
+
+/// Forces ParallelismDegree() to `degree` (>= 1) and rebuilds the worker
+/// pool to match; takes precedence over GRGAD_THREADS. Intended for startup
+/// configuration (e.g. the `grgad run --threads` flag) — must not be called
+/// while parallel regions are in flight. Kernel results are bitwise
+/// independent of the degree, so this only changes resource usage.
+void SetParallelismDegree(int degree);
 
 /// Runs body(begin, end) over a contiguous partition of [0, n).
 ///

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 
 namespace grgad {
 
@@ -139,6 +140,11 @@ ThreadPool& ThreadPool::Global() {
     g_pool_degree = degree;
   }
   return *g_pool;
+}
+
+void SetParallelismDegree(int degree) {
+  GRGAD_CHECK_GE(degree, 1);
+  internal::SetParallelismDegreeForTest(degree);
 }
 
 namespace internal {

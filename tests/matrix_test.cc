@@ -235,5 +235,61 @@ TEST(MatrixTest, MatMulInsideParallelRegionIsSafe) {
   for (const Matrix& r : results) EXPECT_TRUE(BitwiseEqual(r, expected));
 }
 
+TEST(MatrixIntoKernelsTest, MatchAllocatingKernelsBitwise) {
+  Rng rng(99);
+  const Matrix a = Matrix::Gaussian(37, 23, &rng);
+  const Matrix b = Matrix::Gaussian(23, 19, &rng);
+  const Matrix c = Matrix::Gaussian(37, 23, &rng);
+
+  Matrix out(37, 19, /*fill=*/5.0);  // Stale contents must not leak through.
+  MatMulInto(a, b, &out);
+  EXPECT_TRUE(BitwiseEqual(out, MatMul(a, b)));
+
+  Matrix tb(37, 37, 5.0);
+  MatMulTransposeBInto(a, c, &tb);
+  EXPECT_TRUE(BitwiseEqual(tb, MatMulTransposeB(a, c)));
+
+  Matrix ta(23, 23, 5.0);
+  MatMulTransposeAInto(a, c, &ta);
+  EXPECT_TRUE(BitwiseEqual(ta, MatMulTransposeA(a, c)));
+
+  Matrix tr(23, 37);
+  TransposeInto(a, &tr);
+  EXPECT_TRUE(BitwiseEqual(tr, a.Transpose()));
+
+  Matrix ew(37, 23);
+  AddInto(a, c, &ew);
+  EXPECT_TRUE(BitwiseEqual(ew, a + c));
+  SubInto(a, c, &ew);
+  EXPECT_TRUE(BitwiseEqual(ew, a - c));
+  HadamardInto(a, c, &ew);
+  EXPECT_TRUE(BitwiseEqual(ew, a.Hadamard(c)));
+  ScaledInto(a, -1.75, &ew);
+  EXPECT_TRUE(BitwiseEqual(ew, a * -1.75));
+
+  Matrix mapped(37, 23);
+  a.MapToFn(&mapped, [](double v) { return v > 0.0 ? v : 0.0; });
+  EXPECT_TRUE(
+      BitwiseEqual(mapped, a.MapFn([](double v) { return v > 0.0 ? v : 0.0; })));
+}
+
+TEST(MatrixInPlaceKernelsTest, MatchOutOfPlaceBitwise) {
+  Rng rng(100);
+  const Matrix a = Matrix::Gaussian(41, 17, &rng);
+  const Matrix b = Matrix::Gaussian(41, 17, &rng);
+  Matrix x = a;
+  x.AddInPlace(b);
+  EXPECT_TRUE(BitwiseEqual(x, a + b));
+  x = a;
+  x.SubInPlace(b);
+  EXPECT_TRUE(BitwiseEqual(x, a - b));
+  x = a;
+  x.MulInPlace(b);
+  EXPECT_TRUE(BitwiseEqual(x, a.Hadamard(b)));
+  x = Matrix(41, 17, 3.0);
+  x.CopyFrom(a);
+  EXPECT_TRUE(BitwiseEqual(x, a));
+}
+
 }  // namespace
 }  // namespace grgad

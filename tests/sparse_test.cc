@@ -73,6 +73,30 @@ TEST(SparseTest, TransposeMatchesDense) {
       s.Transpose().ToDense().ApproxEquals(s.ToDense().Transpose(), 1e-12));
 }
 
+TEST(SparseTest, SpmmIntoMatchesSpmmBitwise) {
+  SparseMatrix s = RandomSparse(12, 9, 30, 11);
+  Rng rng(13);
+  Matrix x = Matrix::Gaussian(9, 5, &rng);
+  Matrix out(12, 5, /*fill=*/9.0);  // Stale contents must not leak through.
+  s.SpmmInto(x, &out);
+  const Matrix expected = s.Spmm(x);
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(),
+                        expected.size() * sizeof(double)),
+            0);
+}
+
+TEST(SparseTest, SpmmTransposeThisIntoMatchesBitwise) {
+  SparseMatrix s = RandomSparse(12, 9, 30, 12);
+  Rng rng(14);
+  Matrix x = Matrix::Gaussian(12, 5, &rng);
+  Matrix out(9, 5, /*fill=*/9.0);
+  s.SpmmTransposeThisInto(x, &out);
+  const Matrix expected = s.SpmmTransposeThis(x);
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(),
+                        expected.size() * sizeof(double)),
+            0);
+}
+
 TEST(SparseTest, RowSums) {
   SparseMatrix s = SparseMatrix::FromTriplets(
       2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, -3.0}});

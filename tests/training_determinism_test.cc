@@ -1,0 +1,208 @@
+// End-to-end training determinism: the arena-backed autograd, fused
+// bias+ReLU, and fused optimizer paths must produce training outputs (loss
+// history, embeddings, per-node errors) byte-identical to the seed
+// implementation, invariant across thread counts, and invariant to the
+// fast-path switch. The AVX-512 golden hashes below pin today's exact bytes
+// so a future change that silently shifts training numerics fails loudly.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/example_graph.h"
+#include "src/gae/deep_ae.h"
+#include "src/gae/gae_base.h"
+#include "src/gcl/tpgcl.h"
+#include "src/nn/layers.h"
+#include "src/nn/optim.h"
+#include "src/tensor/arena.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace grgad {
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t HashDoubles(const std::vector<double>& v, uint64_t h) {
+  return Fnv1a(v.data(), v.size() * sizeof(double), h);
+}
+
+uint64_t HashMatrix(const Matrix& m, uint64_t h) {
+  return Fnv1a(m.data(), m.size() * sizeof(double), h);
+}
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+
+/// One byte-exact fingerprint over every training output of a GAE fit.
+uint64_t GaeFingerprint() {
+  DatasetOptions data_options;
+  data_options.seed = 7;
+  const Dataset d = GenExampleGraph(data_options);
+  GaeOptions options;
+  options.epochs = 12;
+  options.hidden_dim = 16;
+  options.embed_dim = 8;
+  options.target = ReconTarget::kGraphSnn;
+  options.seed = 3;
+  const GaeResult r = GcnGae(options).Fit(d.graph);
+  uint64_t h = kFnvOffset;
+  h = HashDoubles(r.loss_history, h);
+  h = HashDoubles(r.node_errors, h);
+  h = HashDoubles(r.structure_errors, h);
+  h = HashDoubles(r.attribute_errors, h);
+  h = HashMatrix(r.embeddings, h);
+  return h;
+}
+
+uint64_t TpgclFingerprint() {
+  DatasetOptions data_options;
+  data_options.seed = 7;
+  const Dataset d = GenExampleGraph(data_options);
+  std::vector<std::vector<int>> candidates = d.anomaly_groups;
+  for (int i = 0; i < 8; ++i) candidates.push_back({i, i + 1, i + 2, i + 3});
+  TpgclOptions options;
+  options.epochs = 8;
+  options.hidden_dim = 16;
+  options.embed_dim = 8;
+  options.seed = 5;
+  const TpgclResult r = Tpgcl(options).FitEmbed(d.graph, candidates);
+  uint64_t h = kFnvOffset;
+  h = HashDoubles(r.loss_history, h);
+  h = HashMatrix(r.embeddings, h);
+  return h;
+}
+
+uint64_t DeepAeFingerprint() {
+  DatasetOptions data_options;
+  data_options.seed = 7;
+  const Dataset d = GenExampleGraph(data_options);
+  DeepAeOptions options;
+  options.epochs = 10;
+  options.seed = 9;
+  return HashDoubles(DeepAe(options).FitNodeScores(d.graph), kFnvOffset);
+}
+
+/// Restores the default parallelism degree on scope exit.
+struct DegreeGuard {
+  ~DegreeGuard() { internal::SetParallelismDegreeForTest(0); }
+};
+
+TEST(TrainingDeterminismTest, OutputsInvariantAcrossThreadCounts) {
+  DegreeGuard guard;
+  internal::SetParallelismDegreeForTest(1);
+  const uint64_t gae1 = GaeFingerprint();
+  const uint64_t tpgcl1 = TpgclFingerprint();
+  const uint64_t deepae1 = DeepAeFingerprint();
+  internal::SetParallelismDegreeForTest(4);
+  EXPECT_EQ(GaeFingerprint(), gae1);
+  EXPECT_EQ(TpgclFingerprint(), tpgcl1);
+  EXPECT_EQ(DeepAeFingerprint(), deepae1);
+}
+
+TEST(TrainingDeterminismTest, FastPathMatchesSeedPathBitwise) {
+  // Fast path off = the seed behavior: fresh heap matrices every epoch,
+  // unfused bias+ReLU, serial optimizer loops, gradient buffers freed by
+  // ZeroGrad. Outputs must not change by a single byte either way.
+  const uint64_t fast_gae = GaeFingerprint();
+  const uint64_t fast_tpgcl = TpgclFingerprint();
+  const uint64_t fast_deepae = DeepAeFingerprint();
+  ASSERT_TRUE(SetTrainingFastPath(false));
+  const uint64_t seed_gae = GaeFingerprint();
+  const uint64_t seed_tpgcl = TpgclFingerprint();
+  const uint64_t seed_deepae = DeepAeFingerprint();
+  SetTrainingFastPath(true);
+  EXPECT_EQ(fast_gae, seed_gae);
+  EXPECT_EQ(fast_tpgcl, seed_tpgcl);
+  EXPECT_EQ(fast_deepae, seed_deepae);
+}
+
+// Golden values captured from the pre-arena implementation (PR 2 tree) on
+// the reference container, identical at GRGAD_THREADS=1 and 4. They pin the
+// exact training bytes: any numerics change — reordered accumulation,
+// different fusion, altered sampling — trips these. Two sets:
+//  - Without FMA (e.g. the CI build, GRGAD_NATIVE_ARCH=OFF): every double
+//    op rounds individually, so results are bitwise stable across
+//    compilers and vector widths — these literals hold on any x86-64.
+//  - AVX-512 (-march=native -mprefer-vector-width=512, the default local
+//    build): FMA contraction changes the bytes; these literals assume the
+//    reference container's GCC. On other FMA ISAs (plain AVX2) the exact
+//    literal check is skipped; the cross-thread and fast-path tests above
+//    still cover every build.
+#if defined(__AVX512F__) || !defined(__FMA__)
+TEST(TrainingDeterminismTest, MatchesPreArenaGoldenBytes) {
+#if defined(__AVX512F__)
+  constexpr uint64_t kGae = 11324091491406326405ULL;
+  constexpr uint64_t kTpgcl = 9587620223045283099ULL;
+  constexpr uint64_t kDeepAe = 12170585791305109379ULL;
+#else
+  constexpr uint64_t kGae = 10501552124811263427ULL;
+  constexpr uint64_t kTpgcl = 8423733046468069617ULL;
+  constexpr uint64_t kDeepAe = 10359397975250250476ULL;
+#endif
+  DegreeGuard guard;
+  for (int degree : {1, 4}) {
+    internal::SetParallelismDegreeForTest(degree);
+    EXPECT_EQ(GaeFingerprint(), kGae) << degree;
+    EXPECT_EQ(TpgclFingerprint(), kTpgcl) << degree;
+    EXPECT_EQ(DeepAeFingerprint(), kDeepAe) << degree;
+  }
+}
+#endif  // __AVX512F__ || !__FMA__
+
+TEST(TrainingDeterminismTest, BiasReluFusedMatchesUnfusedBitwise) {
+  Rng rng(123);
+  const Matrix a_init = Matrix::Gaussian(17, 9, &rng);
+  const Matrix bias_init = Matrix::Gaussian(1, 9, &rng);
+  const Matrix upstream = Matrix::Gaussian(17, 9, &rng);
+
+  auto run = [&](bool fused, Matrix* ga, Matrix* gb) {
+    Var a(a_init, /*requires_grad=*/true);
+    Var bias(bias_init, /*requires_grad=*/true);
+    Var out = fused ? BiasReluFused(a, bias)
+                    : Relu(AddRowBroadcast(a, bias));
+    // Reduce with fixed upstream weights so every output element's
+    // gradient is exercised with a distinct value.
+    Var loss = SumAll(Mul(out, Var(upstream)));
+    loss.Backward();
+    *ga = a.grad();
+    *gb = bias.grad();
+    return out.value();
+  };
+  Matrix ga_fused, gb_fused, ga_ref, gb_ref;
+  const Matrix out_fused = run(true, &ga_fused, &gb_fused);
+  const Matrix out_ref = run(false, &ga_ref, &gb_ref);
+  ASSERT_EQ(out_fused.size(), out_ref.size());
+  EXPECT_EQ(std::memcmp(out_fused.data(), out_ref.data(),
+                        out_ref.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(ga_fused.data(), ga_ref.data(),
+                        ga_ref.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(gb_fused.data(), gb_ref.data(),
+                        gb_ref.size() * sizeof(double)),
+            0);
+}
+
+TEST(TrainingDeterminismTest, AddScalarForwardAndGradient) {
+  Var a(Matrix::FromRows({{1.0, -2.0}, {0.5, 3.0}}), /*requires_grad=*/true);
+  Var out = AddScalar(a, 2.5);
+  EXPECT_DOUBLE_EQ(out.value()(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(out.value()(0, 1), 0.5);
+  Var loss = SumAll(out);
+  loss.Backward();
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) EXPECT_DOUBLE_EQ(a.grad()(i, j), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace grgad

@@ -30,6 +30,7 @@
 #include "src/core/stages.h"
 #include "src/data/registry.h"
 #include "src/od/detector.h"
+#include "src/util/parallel.h"
 #include "src/util/timer.h"
 
 namespace grgad {
@@ -105,6 +106,7 @@ struct Args {
   uint64_t data_seed = 42;
   double scale = 1.0;
   int attr_dim = 0;
+  int threads = 0;  // 0 = GRGAD_THREADS / hardware default.
   bool quiet = false;
   std::vector<std::string> overrides;
 };
@@ -176,6 +178,15 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       }
       continue;
     }
+    if (ParseFlag(argc, argv, &i, "threads", &value)) {
+      if (!ParseIntValue(value, &args->threads) || args->threads < 1 ||
+          args->threads > 4096) {
+        *error = "--threads: expected an integer in [1, 4096], got '" +
+                 value + "'";
+        return false;
+      }
+      continue;
+    }
     if (std::string(argv[i]) == "--quiet") {
       args->quiet = true;
       continue;
@@ -201,13 +212,16 @@ void PrintUsage() {
       "  grgad run --dataset=NAME [--method=tp-grgad] [--detector=ecod]\n"
       "            [--seed=42] [--set key=value ...] [--out DIR]\n"
       "            [--json PATH] [--data-seed=42] [--scale=1.0]\n"
-      "            [--attr-dim=0] [--quiet]\n"
+      "            [--attr-dim=0] [--threads=N] [--quiet]\n"
       "      Run a method end to end; --out persists the pipeline "
       "artifacts.\n"
       "  grgad rescore --in DIR --detector=KIND [--seed=42] [--out DIR]\n"
-      "                [--json PATH] [--quiet]\n"
+      "                [--json PATH] [--threads=N] [--quiet]\n"
       "      Re-score saved artifacts with a different detector — no "
       "re-training.\n\n"
+      "--threads=N sets the worker-pool parallelism degree explicitly\n"
+      "(equivalent to the GRGAD_THREADS environment variable, which it\n"
+      "overrides); results are bitwise identical at any degree.\n"
       "Ctrl-C cancels a running pipeline cooperatively (exit code 130).\n");
 }
 
@@ -463,6 +477,7 @@ int Main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (args.threads > 0) SetParallelismDegree(args.threads);
   if (args.command == "list") return CmdList();
   if (args.command == "run") return CmdRun(args);
   if (args.command == "rescore") return CmdRescore(args);
