@@ -2,10 +2,12 @@
 // algebra, graph algorithms, GraphSNN weighting, detectors, and one TPGCL
 // training epoch. These are throughput references, not paper figures.
 //
-// Before the google-benchmark suites run, main() times the optimized tensor
-// kernels against the seed serial reference kernels on the training-hot
-// shapes and writes the results to bench_results/micro.json (schema in
-// PERF.md), giving every PR a machine-readable before/after perf trajectory.
+// Before the google-benchmark suites run, main() compares seed vs optimized
+// on three axes — end-to-end training epochs, the scoring stage (frozen
+// seed detectors vs the GEMM/parallel fast path), and the tensor kernels on
+// the training-hot shapes — and writes the results to
+// bench_results/micro.json (schema in PERF.md), giving every PR a
+// machine-readable before/after perf trajectory.
 // Set GRGAD_MICRO_JSON=0 to skip that phase, and GRGAD_MICRO_JSON_ONLY=1 to
 // run only it.
 #include <benchmark/benchmark.h>
@@ -26,11 +28,15 @@
 #include "src/graph/operators.h"
 #include "src/od/ecod.h"
 #include "src/od/iforest.h"
+#include "src/od/knn.h"
+#include "src/od/lof.h"
+#include "src/od/reference_detectors.h"
 #include "src/sampling/pattern_search.h"
 #include "src/tensor/arena.h"
 #include "src/tensor/matrix.h"
 #include "src/tensor/reference_kernels.h"
 #include "src/tensor/sparse.h"
+#include "src/util/fastpath.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
@@ -302,6 +308,80 @@ std::vector<KernelResult> CompareKernels() {
 }
 
 // ---------------------------------------------------------------------------
+// Scoring-stage comparison (frozen seed detectors vs the blocked/parallel
+// scoring fast path) -> the grgad-micro-v3 "scoring" table.
+// ---------------------------------------------------------------------------
+
+struct ScoringResult {
+  std::string name;
+  std::string shape;
+  double seed_ms = 0.0;  ///< Frozen seed implementation (reference_detectors).
+  double opt_ms = 0.0;   ///< Product code with the scoring fast path on.
+};
+
+std::vector<ScoringResult> CompareScoringKernels() {
+  std::vector<ScoringResult> results;
+  const bool prev = SetScoringFastPath(true);
+  auto add = [&](std::string name, std::string shape, auto&& seed_fn,
+                 auto&& opt_fn) {
+    ScoringResult r;
+    r.name = std::move(name);
+    r.shape = std::move(shape);
+    r.seed_ms = MedianMs(seed_fn);
+    r.opt_ms = MedianMs(opt_fn);
+    std::printf("  %-24s %-24s seed %8.3f ms   opt %8.3f ms   %.2fx\n",
+                r.name.c_str(), r.shape.c_str(), r.seed_ms, r.opt_ms,
+                r.seed_ms / r.opt_ms);
+    results.push_back(std::move(r));
+  };
+
+  // The acceptance shape: group embeddings at serving scale (n groups x
+  // 64-d TPGCL embeddings).
+  Matrix x = RandomMatrix(2048, 64, 41);
+  add(
+      "pairwise", "2048x64",
+      [&] { benchmark::DoNotOptimize(reference::PairwiseDistances(x)); },
+      [&] { benchmark::DoNotOptimize(PairwiseDistances(x)); });
+  add(
+      "knn", "2048x64,k=5",
+      [&] { benchmark::DoNotOptimize(reference::KnnFitScore(x, 5)); },
+      [&] { benchmark::DoNotOptimize(KnnDetector(5).FitScore(x)); });
+  add(
+      "lof", "2048x64,k=10",
+      [&] { benchmark::DoNotOptimize(reference::LofFitScore(x, 10)); },
+      [&] { benchmark::DoNotOptimize(Lof(10).FitScore(x)); });
+  add(
+      "ecod", "2048x64",
+      [&] { benchmark::DoNotOptimize(reference::EcodFitScore(x)); },
+      [&] { benchmark::DoNotOptimize(Ecod().FitScore(x)); });
+  {
+    IsolationForestOptions options;
+    options.num_trees = 100;
+    options.seed = 7;
+    add(
+        "iforest", "2048x64,trees=100",
+        [&] {
+          benchmark::DoNotOptimize(
+              reference::IsolationForestFitScore(x, options));
+        },
+        [&] {
+          benchmark::DoNotOptimize(IsolationForest(options).FitScore(x));
+        });
+  }
+  {
+    Graph g = BenchGraph(5000, 9);
+    add(
+        "graphsnn", "n=5000",
+        [&] {
+          benchmark::DoNotOptimize(reference::GraphSnnEdgeWeights(g, 1.0));
+        },
+        [&] { benchmark::DoNotOptimize(GraphSnnEdgeWeights(g, 1.0)); });
+  }
+  SetScoringFastPath(prev);
+  return results;
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end training-epoch comparison (seed path vs fast path).
 // ---------------------------------------------------------------------------
 
@@ -459,6 +539,9 @@ void WriteMicroJson() {
   std::printf("Training-epoch comparison (seed path vs arena+fused fast "
               "path)\n");
   const std::vector<EpochResult> epochs = CompareTrainingEpochs();
+  std::printf("Scoring comparison (frozen seed detectors vs GEMM/parallel "
+              "fast path), GRGAD_THREADS=%d\n", ParallelismDegree());
+  const std::vector<ScoringResult> scoring = CompareScoringKernels();
   std::printf("Kernel comparison (seed serial reference vs optimized), "
               "GRGAD_THREADS=%d\n", ParallelismDegree());
   const std::vector<KernelResult> results = CompareKernels();
@@ -471,7 +554,7 @@ void WriteMicroJson() {
     return;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"grgad-micro-v2\",\n");
+  std::fprintf(f, "  \"schema\": \"grgad-micro-v3\",\n");
   std::fprintf(f, "  \"threads\": %d,\n", ParallelismDegree());
   std::fprintf(f, "  \"kernels\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -481,6 +564,17 @@ void WriteMicroJson() {
                  "\"seed_ms\": %.6f, \"opt_ms\": %.6f, \"speedup\": %.3f}%s\n",
                  r.name.c_str(), r.shape.c_str(), r.seed_ms, r.opt_ms,
                  r.seed_ms / r.opt_ms, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"scoring\": [\n");
+  for (size_t i = 0; i < scoring.size(); ++i) {
+    const ScoringResult& r = scoring[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"shape\": \"%s\", "
+                 "\"seed_ms\": %.6f, \"opt_ms\": %.6f, \"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.shape.c_str(), r.seed_ms, r.opt_ms,
+                 r.seed_ms / (r.opt_ms > 0.0 ? r.opt_ms : 1e-9),
+                 i + 1 < scoring.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"epochs\": [\n");

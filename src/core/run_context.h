@@ -52,6 +52,14 @@ class RunContext {
   /// Optional observer, invoked synchronously on the driving thread.
   std::function<void(const StageEvent&)> on_progress;
 
+  /// Opt into fine-grained sub-stage telemetry: stages that do distinct
+  /// phases of work (currently scoring: "scoring/neighbors",
+  /// "scoring/detect") bracket them with extra StageScopes, which land in
+  /// stage_timings() alongside the top-level stages. Off by default so
+  /// stage_timings() stays one-entry-per-stage for existing consumers; the
+  /// CLI's --profile flag turns it on.
+  bool profile = false;
+
   /// Telemetry for every finished stage, in execution order. Stages of
   /// repeated runs through the same context append (the context outlives a
   /// single RunPipeline call by design, e.g. run + rescore).

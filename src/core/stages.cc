@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/od/neighbor_index.h"
 #include "src/util/logging.h"
 
 namespace grgad {
@@ -126,7 +127,24 @@ Result<ScoringStageOutput> RunScoringStage(
     return Status::Internal("scoring stage: unknown detector kind");
   }
   ScoringStageOutput out;
-  out.scores = detector->FitScore(embeddings);
+  // Neighbor-based detectors (kNN / LOF / the ensemble) all consume the
+  // same k-NN structure; build it once here and share it. Sub-stage scopes
+  // only appear when the caller opted into profile telemetry.
+  RunContext* profile_ctx =
+      (ctx != nullptr && ctx->profile) ? ctx : nullptr;
+  const int k = detector->NeighborsNeeded(static_cast<int>(embeddings.rows()));
+  if (k > 0) {
+    NeighborIndex index;
+    {
+      StageScope neighbors_scope(profile_ctx, "scoring/neighbors");
+      index = BuildNeighborIndex(embeddings, k);
+    }
+    StageScope detect_scope(profile_ctx, "scoring/detect");
+    out.scores = detector->FitScoreWithIndex(embeddings, index);
+  } else {
+    StageScope detect_scope(profile_ctx, "scoring/detect");
+    out.scores = detector->FitScore(embeddings);
+  }
   out.scored_groups.reserve(groups.size());
   for (size_t i = 0; i < groups.size(); ++i) {
     out.scored_groups.push_back({groups[i], out.scores[i]});

@@ -91,7 +91,10 @@ Result<EmbeddingStageOutput> RunEmbeddingStage(
 
 /// Scores one embedding row per group with options.detector (seeded with
 /// options.seed ^ 0x3, matching the full pipeline). Only needs embeddings —
-/// this is the stage artifact reloads re-run to swap detectors.
+/// this is the stage artifact reloads re-run to swap detectors. Neighbor-
+/// based detectors score through one shared NeighborIndex built here; with
+/// ctx->profile set, the index build and the detector proper are reported
+/// as "scoring/neighbors" / "scoring/detect" sub-stage timings.
 Result<ScoringStageOutput> RunScoringStage(
     const Matrix& embeddings, const std::vector<std::vector<int>>& groups,
     const TpGrGadOptions& options, RunContext* ctx = nullptr);

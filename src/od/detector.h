@@ -15,6 +15,8 @@
 
 namespace grgad {
 
+struct NeighborIndex;
+
 /// Unsupervised detector: fit on x (rows = samples) and return one anomaly
 /// score per row.
 class OutlierDetector {
@@ -26,6 +28,22 @@ class OutlierDetector {
 
   /// Short identifier for logs and bench tables (e.g. "ecod").
   virtual std::string Name() const = 0;
+
+  /// How many nearest neighbors per row this detector consumes for an
+  /// n-row input (0 = none). Callers scoring with several detectors build
+  /// ONE NeighborIndex with the max over all of them and pass it to
+  /// FitScoreWithIndex; rows of the shared index are (distance, id)-sorted,
+  /// so a k-consumer reads a prefix of a k'-index for any k' >= k.
+  virtual int NeighborsNeeded(int /*n*/) const { return 0; }
+
+  /// FitScore with a precomputed neighbor index over the same x, with
+  /// index.k >= NeighborsNeeded(x.rows()). Detectors that need no
+  /// neighbors ignore the index. Produces exactly the scores FitScore
+  /// would: FitScore == FitScoreWithIndex(BuildNeighborIndex(x, k)).
+  virtual std::vector<double> FitScoreWithIndex(const Matrix& x,
+                                                const NeighborIndex&) {
+    return FitScore(x);
+  }
 };
 
 /// Detector ids accepted by MakeOutlierDetector. kEnsemble is the

@@ -49,14 +49,38 @@ std::unique_ptr<EnsembleDetector> EnsembleDetector::MakeDefault(
   return std::make_unique<EnsembleDetector>(std::move(members));
 }
 
-std::vector<double> EnsembleDetector::FitScore(const Matrix& x) {
+int EnsembleDetector::NeighborsNeeded(int n) const {
+  int k = 0;
+  for (const auto& m : members_) k = std::max(k, m->NeighborsNeeded(n));
+  return k;
+}
+
+std::vector<double> EnsembleDetector::Combine(const Matrix& x,
+                                              const NeighborIndex* index) {
   std::vector<double> combined(x.rows(), 0.0);
   for (auto& member : members_) {
-    const std::vector<double> ranks = RankNormalize(member->FitScore(x));
+    const std::vector<double> ranks =
+        RankNormalize(index != nullptr
+                          ? member->FitScoreWithIndex(x, *index)
+                          : member->FitScore(x));
     for (size_t i = 0; i < combined.size(); ++i) combined[i] += ranks[i];
   }
   for (double& v : combined) v /= static_cast<double>(members_.size());
   return combined;
+}
+
+std::vector<double> EnsembleDetector::FitScore(const Matrix& x) {
+  const int k = NeighborsNeeded(static_cast<int>(x.rows()));
+  if (k > 0) {
+    const NeighborIndex index = BuildNeighborIndex(x, k);
+    return Combine(x, &index);
+  }
+  return Combine(x, nullptr);
+}
+
+std::vector<double> EnsembleDetector::FitScoreWithIndex(
+    const Matrix& x, const NeighborIndex& index) {
+  return Combine(x, &index);
 }
 
 }  // namespace grgad

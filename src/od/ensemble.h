@@ -3,6 +3,11 @@
 // scores. Rank normalization makes heterogeneous score scales (ECOD's
 // -log tail probabilities vs LOF's density ratios vs IForest's [0,1])
 // directly comparable.
+//
+// Neighbor-based members share ONE NeighborIndex (built with the max k any
+// member needs) instead of each re-deriving neighbors from scratch — index
+// rows are (distance, id)-sorted, so a k-consumer reads a prefix of the
+// shared k_max index and scores exactly as it would standalone.
 #ifndef GRGAD_OD_ENSEMBLE_H_
 #define GRGAD_OD_ENSEMBLE_H_
 
@@ -10,6 +15,7 @@
 #include <vector>
 
 #include "src/od/detector.h"
+#include "src/od/neighbor_index.h"
 
 namespace grgad {
 
@@ -24,11 +30,17 @@ class EnsembleDetector : public OutlierDetector {
   static std::unique_ptr<EnsembleDetector> MakeDefault(uint64_t seed = 7);
 
   std::vector<double> FitScore(const Matrix& x) override;
+  std::vector<double> FitScoreWithIndex(const Matrix& x,
+                                        const NeighborIndex& index) override;
+  /// Max over the members, so one shared index serves all of them.
+  int NeighborsNeeded(int n) const override;
   std::string Name() const override { return "ensemble"; }
 
   size_t size() const { return members_.size(); }
 
  private:
+  std::vector<double> Combine(const Matrix& x, const NeighborIndex* index);
+
   std::vector<std::unique_ptr<OutlierDetector>> members_;
 };
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "src/util/check.h"
+#include "src/util/fastpath.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 
 namespace grgad {
@@ -95,6 +98,14 @@ class IsoTree {
   int root_ = 0;
 };
 
+/// Independent per-tree stream: a fixed odd-multiplier mix of (seed, t),
+/// expanded by the Rng's own SplitMix64 seeding. Tree t's draws never
+/// depend on how many draws tree t-1 consumed, which is what makes the
+/// build order (serial or pool-parallel) irrelevant to the result.
+uint64_t TreeSeed(uint64_t seed, int t) {
+  return seed + 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(t + 1);
+}
+
 }  // namespace
 
 std::vector<double> IsolationForest::FitScore(const Matrix& x) {
@@ -103,20 +114,45 @@ std::vector<double> IsolationForest::FitScore(const Matrix& x) {
   const int psi = std::min(options_.subsample, n);
   const int max_depth =
       static_cast<int>(std::ceil(std::log2(std::max(2, psi))));
-  Rng rng(options_.seed);
-  std::vector<double> total_path(n, 0.0);
-  for (int t = 0; t < options_.num_trees; ++t) {
+  const int num_trees = options_.num_trees;
+  std::vector<std::unique_ptr<IsoTree>> trees(num_trees);
+  auto build_tree = [&](int t) {
+    Rng rng(TreeSeed(options_.seed, t));
     std::vector<size_t> sample =
         rng.SampleWithoutReplacement(static_cast<size_t>(n),
                                      static_cast<size_t>(psi));
     std::vector<int> items(sample.begin(), sample.end());
-    IsoTree tree(x, std::move(items), max_depth, &rng);
-    for (int i = 0; i < n; ++i) total_path[i] += tree.PathLength(x, i);
+    trees[t] = std::make_unique<IsoTree>(x, std::move(items), max_depth,
+                                         &rng);
+  };
+  // Per-sample path sums. Tree-outer within each row chunk keeps one tree's
+  // nodes cache-resident across the chunk (row-outer cycles every tree
+  // through cache per row and measures ~25% slower); each sample still
+  // accumulates its terms in ascending tree order whatever the chunking, so
+  // scores are bitwise reproducible across GRGAD_THREADS and match the
+  // serial loop.
+  std::vector<double> total_path(n, 0.0);
+  auto score_rows = [&](size_t begin, size_t end) {
+    for (int t = 0; t < num_trees; ++t) {
+      const IsoTree& tree = *trees[t];
+      for (size_t i = begin; i < end; ++i) {
+        total_path[i] += tree.PathLength(x, static_cast<int>(i));
+      }
+    }
+  };
+  if (ScoringFastPathEnabled()) {
+    ParallelFor(num_trees, 1, [&](size_t begin, size_t end) {
+      for (size_t t = begin; t < end; ++t) build_tree(static_cast<int>(t));
+    });
+    ParallelFor(n, 16, score_rows);
+  } else {
+    for (int t = 0; t < num_trees; ++t) build_tree(t);
+    score_rows(0, static_cast<size_t>(n));
   }
   const double c = AveragePathLength(psi);
   std::vector<double> score(n);
   for (int i = 0; i < n; ++i) {
-    const double mean_path = total_path[i] / options_.num_trees;
+    const double mean_path = total_path[i] / num_trees;
     score[i] = std::pow(2.0, -mean_path / std::max(c, 1e-12));
   }
   return score;

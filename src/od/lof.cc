@@ -2,38 +2,49 @@
 
 #include <algorithm>
 
-#include "src/od/knn.h"
 #include "src/util/check.h"
 
 namespace grgad {
+
+int Lof::NeighborsNeeded(int n) const {
+  return n > 2 ? std::min(k_, n - 1) : 0;
+}
 
 std::vector<double> Lof::FitScore(const Matrix& x) {
   const int n = static_cast<int>(x.rows());
   GRGAD_CHECK_GT(n, 0);
   if (n <= 2) return std::vector<double>(n, 1.0);
+  return FitScoreWithIndex(x, BuildNeighborIndex(x, NeighborsNeeded(n)));
+}
+
+std::vector<double> Lof::FitScoreWithIndex(const Matrix& x,
+                                           const NeighborIndex& index) {
+  const int n = static_cast<int>(x.rows());
+  GRGAD_CHECK_GT(n, 0);
+  if (n <= 2) return std::vector<double>(n, 1.0);
   const int k = std::min(k_, n - 1);
-  const Matrix d = PairwiseDistances(x);
-  const auto nn = KNearestNeighbors(x, k);
-  // k-distance of each point = distance to its k-th neighbor.
+  GRGAD_CHECK(index.n == n && index.k >= k);
+  // k-distance of each point = distance to its k-th neighbor. Index rows
+  // are ascending by distance, matching the seed's neighbor order, so every
+  // accumulation below runs in the seed's exact order.
   std::vector<double> kdist(n);
-  for (int i = 0; i < n; ++i) kdist[i] = d(i, nn[i].back());
+  for (int i = 0; i < n; ++i) kdist[i] = index.Distance(i, k - 1);
   // Local reachability density.
   std::vector<double> lrd(n);
   for (int i = 0; i < n; ++i) {
     double sum_reach = 0.0;
-    for (int j : nn[i]) {
-      sum_reach += std::max(kdist[j], d(i, j));
+    for (int pos = 0; pos < k; ++pos) {
+      sum_reach += std::max(kdist[index.Neighbor(i, pos)],
+                            index.Distance(i, pos));
     }
-    lrd[i] = sum_reach > 0.0 ? static_cast<double>(nn[i].size()) / sum_reach
+    lrd[i] = sum_reach > 0.0 ? static_cast<double>(k) / sum_reach
                              : 1e12;  // Duplicated points: huge density.
   }
   std::vector<double> lof(n);
   for (int i = 0; i < n; ++i) {
     double s = 0.0;
-    for (int j : nn[i]) s += lrd[j];
-    lof[i] = lrd[i] > 0.0
-                 ? s / (static_cast<double>(nn[i].size()) * lrd[i])
-                 : 0.0;
+    for (int pos = 0; pos < k; ++pos) s += lrd[index.Neighbor(i, pos)];
+    lof[i] = lrd[i] > 0.0 ? s / (static_cast<double>(k) * lrd[i]) : 0.0;
   }
   return lof;
 }

@@ -3,15 +3,22 @@
 #define GRGAD_OD_LOF_H_
 
 #include "src/od/detector.h"
+#include "src/od/neighbor_index.h"
 
 namespace grgad {
 
 /// LOF detector: ratio of the average local reachability density of a
-/// point's neighbors to its own (≈1 for inliers, >1 for outliers).
+/// point's neighbors to its own (≈1 for inliers, >1 for outliers). Needs
+/// only the k-nearest-neighbor ids and distances — one NeighborIndex (one
+/// distance sweep), shared with the other scoring-stage detectors when
+/// scored through FitScoreWithIndex.
 class Lof : public OutlierDetector {
  public:
   explicit Lof(int k = 10) : k_(k) {}
   std::vector<double> FitScore(const Matrix& x) override;
+  std::vector<double> FitScoreWithIndex(const Matrix& x,
+                                        const NeighborIndex& index) override;
+  int NeighborsNeeded(int n) const override;
   std::string Name() const override { return "lof"; }
 
  private:

@@ -1,0 +1,19 @@
+#include "src/util/fastpath.h"
+
+#include <atomic>
+
+namespace grgad {
+
+namespace {
+std::atomic<bool> g_scoring_fast_path{true};
+}  // namespace
+
+bool ScoringFastPathEnabled() {
+  return g_scoring_fast_path.load(std::memory_order_relaxed);
+}
+
+bool SetScoringFastPath(bool enabled) {
+  return g_scoring_fast_path.exchange(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace grgad

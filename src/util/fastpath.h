@@ -1,0 +1,35 @@
+// Global switch for the optimized scoring stage.
+//
+// Mirrors the training fast-path switch in src/tensor/arena.h: when enabled
+// (the default), the scoring hot paths run their blocked/parallel
+// implementations — GEMM-based pairwise distances and panel-streamed
+// neighbor selection (src/od/neighbor_index.cc), column-parallel ECOD,
+// tree-parallel IsolationForest, edge-parallel GraphSNN weighting. When
+// disabled, every one of those paths falls back to the seed-shaped serial
+// loops so `micro_benchmarks` can measure seed-vs-opt scoring and tests can
+// compare the two paths.
+//
+// Determinism contract (details in PERF.md, "Scoring stage"): both settings
+// are bitwise reproducible across runs and across GRGAD_THREADS; ECOD,
+// IsolationForest, and GraphSNN produce bitwise identical output under both
+// settings, while the GEMM distance paths (kNN/LOF) match the seed path at
+// the score-*rank* level (the distance identity contracts FMAs differently
+// than the seed's scalar diff-square loop).
+//
+// This switch lives in src/util (not src/od) because src/graph/graphsnn.cc
+// consults it too, and the graph layer must not depend on the od layer.
+#ifndef GRGAD_UTIL_FASTPATH_H_
+#define GRGAD_UTIL_FASTPATH_H_
+
+namespace grgad {
+
+/// True when the optimized scoring-stage implementations are active.
+bool ScoringFastPathEnabled();
+
+/// Flips the scoring fast path globally; returns the previous setting. Not
+/// intended for concurrent toggling while a scoring call is in flight.
+bool SetScoringFastPath(bool enabled);
+
+}  // namespace grgad
+
+#endif  // GRGAD_UTIL_FASTPATH_H_

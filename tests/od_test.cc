@@ -157,6 +157,13 @@ TEST(KnnTest, KClampedToNMinusOne) {
   EXPECT_EQ(nn[0].size(), 2u);
   KnnDetector det(99);
   EXPECT_EQ(det.FitScore(x).size(), 3u);
+  // Seed behavior: k <= 0 selects nothing (both overloads).
+  const auto none = KNearestNeighbors(x, 0);
+  ASSERT_EQ(none.size(), 3u);
+  for (const auto& row : none) EXPECT_TRUE(row.empty());
+  const auto none_d = KNearestNeighborsFromDistances(PairwiseDistances(x), 0);
+  ASSERT_EQ(none_d.size(), 3u);
+  for (const auto& row : none_d) EXPECT_TRUE(row.empty());
 }
 
 TEST(LofTest, InliersScoreNearOne) {

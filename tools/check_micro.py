@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI gate over bench_results/micro.json (grgad-micro-v3).
+
+Fails (exit 1) when:
+  - the schema is not grgad-micro-v3, or the kernels/scoring/epochs tables
+    are missing or empty;
+  - the scoring table lacks any of the required seed-vs-opt entries
+    (pairwise, knn, lof, iforest, ecod, graphsnn);
+  - any scoring entry's optimized path regresses more than REGRESSION_LIMIT
+    (1.5x) against its frozen seed baseline on the runner.
+
+The kernels/epochs tables are checked for presence only: their acceptable
+ratios are ISA-dependent (see PERF.md) and already tracked as uploaded
+artifacts, while the scoring table is the gate this stage's rebuild owns.
+"""
+import json
+import sys
+
+REGRESSION_LIMIT = 1.5
+REQUIRED_SCORING = {"pairwise", "knn", "lof", "iforest", "ecod", "graphsnn"}
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_results/micro.json"
+    with open(path) as f:
+        data = json.load(f)
+
+    failures = []
+    schema = data.get("schema")
+    if schema != "grgad-micro-v3":
+        failures.append(f"schema is {schema!r}, expected 'grgad-micro-v3'")
+
+    for table in ("kernels", "scoring", "epochs"):
+        if not data.get(table):
+            failures.append(f"table {table!r} is missing or empty")
+
+    scoring = data.get("scoring") or []
+    names = {entry.get("name") for entry in scoring}
+    for missing in sorted(REQUIRED_SCORING - names):
+        failures.append(f"scoring table is missing entry {missing!r}")
+
+    floor = 1.0 / REGRESSION_LIMIT
+    for entry in scoring:
+        name = entry.get("name", "?")
+        speedup = entry.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            failures.append(f"scoring entry {name!r} has no speedup")
+            continue
+        print(f"  scoring {name:<10} seed {entry.get('seed_ms', 0.0):9.3f} ms"
+              f"   opt {entry.get('opt_ms', 0.0):9.3f} ms"
+              f"   {speedup:.2f}x")
+        if speedup < floor:
+            failures.append(
+                f"scoring entry {name!r} regressed: opt is {1.0 / speedup:.2f}x"
+                f" slower than seed (limit {REGRESSION_LIMIT}x)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: {path} is grgad-micro-v3 with a complete scoring table and "
+          f"no opt regression beyond {REGRESSION_LIMIT}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

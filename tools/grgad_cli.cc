@@ -108,6 +108,7 @@ struct Args {
   int attr_dim = 0;
   int threads = 0;  // 0 = GRGAD_THREADS / hardware default.
   bool quiet = false;
+  bool profile = false;
   std::vector<std::string> overrides;
 };
 
@@ -191,6 +192,10 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       args->quiet = true;
       continue;
     }
+    if (std::string(argv[i]) == "--profile") {
+      args->profile = true;
+      continue;
+    }
     if (ParseFlag(argc, argv, &i, "set", &value)) {
       args->overrides.push_back(value);
       continue;
@@ -212,13 +217,16 @@ void PrintUsage() {
       "  grgad run --dataset=NAME [--method=tp-grgad] [--detector=ecod]\n"
       "            [--seed=42] [--set key=value ...] [--out DIR]\n"
       "            [--json PATH] [--data-seed=42] [--scale=1.0]\n"
-      "            [--attr-dim=0] [--threads=N] [--quiet]\n"
+      "            [--attr-dim=0] [--threads=N] [--quiet] [--profile]\n"
       "      Run a method end to end; --out persists the pipeline "
       "artifacts.\n"
       "  grgad rescore --in DIR --detector=KIND [--seed=42] [--out DIR]\n"
-      "                [--json PATH] [--threads=N] [--quiet]\n"
+      "                [--json PATH] [--threads=N] [--quiet] [--profile]\n"
       "      Re-score saved artifacts with a different detector — no "
       "re-training.\n\n"
+      "--profile adds fine-grained sub-stage wall times (e.g. the scoring\n"
+      "stage's neighbor-index build vs detector time) to the JSON result's\n"
+      "stage_timings.\n"
       "--threads=N sets the worker-pool parallelism degree explicitly\n"
       "(equivalent to the GRGAD_THREADS environment variable, which it\n"
       "overrides); results are bitwise identical at any degree.\n"
@@ -349,6 +357,7 @@ int CmdRun(const Args& args) {
   }
 
   RunContext ctx;
+  ctx.profile = args.profile;
   if (!args.quiet) {
     ctx.on_progress = [](const StageEvent& event) {
       if (event.finished) {
@@ -414,6 +423,7 @@ int CmdRun(const Args& args) {
   JsonField(&json, "num_groups",
             std::to_string(artifacts.candidate_groups.size()), &first);
   JsonField(&json, "seconds", JsonNumber(total_seconds), &first);
+  JsonField(&json, "profile", args.profile ? "true" : "false", &first);
   JsonField(&json, "stage_timings", TimingsJson(ctx), &first);
   JsonField(&json, "evaluation", EvaluationJson(eval), &first);
   JsonField(&json, "top_groups", TopGroupsJson(scored, 5), &first);
@@ -441,6 +451,7 @@ int CmdRescore(const Args& args) {
   const uint64_t seed = args.seed_set ? args.seed : artifacts.seed;
 
   RunContext ctx;
+  ctx.profile = args.profile;
   auto rescored = RescoreArtifacts(artifacts, kind, seed, &ctx);
   if (!rescored.ok()) return FailWith(rescored.status());
   artifacts.seed = seed;  // Keep a --out manifest true to these scores.
@@ -462,6 +473,7 @@ int CmdRescore(const Args& args) {
   JsonField(&json, "detector", JsonString(args.detector), &first);
   JsonField(&json, "num_groups",
             std::to_string(artifacts.candidate_groups.size()), &first);
+  JsonField(&json, "profile", args.profile ? "true" : "false", &first);
   JsonField(&json, "stage_timings", TimingsJson(ctx), &first);
   JsonField(&json, "top_groups", TopGroupsJson(artifacts.scored_groups, 5),
             &first);
