@@ -3,11 +3,12 @@
 // training epoch. These are throughput references, not paper figures.
 //
 // Before the google-benchmark suites run, main() compares seed vs optimized
-// on three axes — end-to-end training epochs, the scoring stage (frozen
-// seed detectors vs the GEMM/parallel fast path), and the tensor kernels on
-// the training-hot shapes — and writes the results to
-// bench_results/micro.json (schema in PERF.md), giving every PR a
-// machine-readable before/after perf trajectory.
+// on four axes — end-to-end training epochs, the candidate stage (frozen
+// serial sampler/pattern/augment paths vs the workspace/view fast path),
+// the scoring stage (frozen seed detectors vs the GEMM/parallel fast path),
+// and the tensor kernels on the training-hot shapes — and writes the
+// results to bench_results/micro.json (schema in PERF.md), giving every PR
+// a machine-readable before/after perf trajectory.
 // Set GRGAD_MICRO_JSON=0 to skip that phase, and GRGAD_MICRO_JSON_ONLY=1 to
 // run only it.
 #include <benchmark/benchmark.h>
@@ -22,10 +23,14 @@
 
 #include "src/data/example_graph.h"
 #include "src/gae/gae_base.h"
+#include "src/gcl/augmentations.h"
 #include "src/gcl/tpgcl.h"
 #include "src/graph/algorithms.h"
 #include "src/graph/graphsnn.h"
 #include "src/graph/operators.h"
+#include "src/graph/subgraph_view.h"
+#include "src/graph/traversal_workspace.h"
+#include "src/sampling/group_sampler.h"
 #include "src/od/ecod.h"
 #include "src/od/iforest.h"
 #include "src/od/knn.h"
@@ -308,6 +313,106 @@ std::vector<KernelResult> CompareKernels() {
 }
 
 // ---------------------------------------------------------------------------
+// Candidate-stage comparison (frozen serial Alg. 1/Alg. 2 paths vs the
+// anchor-parallel workspace/view fast path) -> the grgad-micro-v4
+// "candidates" table.
+// ---------------------------------------------------------------------------
+
+struct CandidateResult {
+  std::string name;
+  std::string shape;
+  double seed_ms = 0.0;  ///< Candidate fast path off (seed-shaped serial).
+  double opt_ms = 0.0;   ///< Workspace/view fast path on.
+  /// Sampler only: TraversalWorkspace buffer growths across one steady-state
+  /// Sample call (must be 0 — pooled workspaces fully warm after the timed
+  /// runs). -1 for entries that do not use workspaces.
+  int64_t steady_workspace_allocs = -1;
+};
+
+std::vector<CandidateResult> CompareCandidateKernels() {
+  std::vector<CandidateResult> results;
+  results.reserve(3);  // add() returns a reference into this vector.
+  const bool prev = SetCandidateFastPath(true);
+  auto add = [&](std::string name, std::string shape, auto&& seed_fn,
+                 auto&& opt_fn) -> CandidateResult& {
+    CandidateResult r;
+    r.name = std::move(name);
+    r.shape = std::move(shape);
+    SetCandidateFastPath(false);
+    r.seed_ms = MedianMs(seed_fn);
+    SetCandidateFastPath(true);
+    r.opt_ms = MedianMs(opt_fn);
+    std::printf("  %-24s %-24s seed %8.3f ms   opt %8.3f ms   %.2fx\n",
+                r.name.c_str(), r.shape.c_str(), r.seed_ms, r.opt_ms,
+                r.seed_ms / r.opt_ms);
+    results.push_back(std::move(r));
+    return results.back();
+  };
+
+  // The acceptance shape: Alg. 1 over a transaction-scale random graph with
+  // an anchor set dense enough that path/tree/cycle search all fire.
+  {
+    Graph g = BenchGraph(8000, 33);
+    std::vector<int> anchors;
+    for (int v = 0; v < g.num_nodes(); v += 125) anchors.push_back(v);
+    GroupSampler sampler{GroupSamplerOptions{}};
+    CandidateResult& r = add(
+        "sampler", "n=8000,anchors=64",
+        [&] { benchmark::DoNotOptimize(sampler.Sample(g, anchors)); },
+        [&] { benchmark::DoNotOptimize(sampler.Sample(g, anchors)); });
+    // Steady-state workspace accounting: the timed opt runs above warmed
+    // every pooled workspace; one more call must not grow anything.
+    const uint64_t before = TraversalWorkspace::TotalHeapAllocs();
+    benchmark::DoNotOptimize(sampler.Sample(g, anchors));
+    r.steady_workspace_allocs =
+        static_cast<int64_t>(TraversalWorkspace::TotalHeapAllocs() - before);
+    std::printf("  %-24s steady workspace heap allocs: %lld\n", "",
+                static_cast<long long>(r.steady_workspace_allocs));
+  }
+
+  // Alg. 2 consumers on one candidate group: materialized InducedSubgraph
+  // (seed) vs a retargeted SubgraphView (opt).
+  {
+    Graph g = BenchGraph(200, 11);
+    std::vector<int> group;
+    for (int v = 0; v < 24; ++v) group.push_back(v);
+    SubgraphView view;
+    add(
+        "pattern_search", "group=24",
+        [&] {
+          const Graph sub = g.InducedSubgraph(group);
+          benchmark::DoNotOptimize(SearchPatterns(sub));
+        },
+        [&] {
+          view.Reset(g, group);
+          benchmark::DoNotOptimize(SearchPatterns(view));
+        });
+    const Graph sub = g.InducedSubgraph(group);
+    const FoundPatterns patterns = SearchPatterns(sub);
+    add(
+        "augment", "group=24,PPA+PBA",
+        [&] {
+          Rng rng(5);
+          const Graph seed_sub = g.InducedSubgraph(group);
+          benchmark::DoNotOptimize(
+              Augment(seed_sub, AugmentationKind::kPpa, patterns, &rng));
+          benchmark::DoNotOptimize(
+              Augment(seed_sub, AugmentationKind::kPba, patterns, &rng));
+        },
+        [&] {
+          Rng rng(5);
+          view.Reset(g, group);
+          benchmark::DoNotOptimize(
+              Augment(view, AugmentationKind::kPpa, patterns, &rng));
+          benchmark::DoNotOptimize(
+              Augment(view, AugmentationKind::kPba, patterns, &rng));
+        });
+  }
+  SetCandidateFastPath(prev);
+  return results;
+}
+
+// ---------------------------------------------------------------------------
 // Scoring-stage comparison (frozen seed detectors vs the blocked/parallel
 // scoring fast path) -> the grgad-micro-v3 "scoring" table.
 // ---------------------------------------------------------------------------
@@ -539,6 +644,13 @@ void WriteMicroJson() {
   std::printf("Training-epoch comparison (seed path vs arena+fused fast "
               "path)\n");
   const std::vector<EpochResult> epochs = CompareTrainingEpochs();
+  // Candidates also run before the kernel phase: the seed sampler's
+  // per-anchor allocation cost is visible only while the allocator is cold
+  // (same glibc trim/mmap-threshold argument as the epochs).
+  std::printf("Candidate-stage comparison (frozen serial sampler/patterns "
+              "vs workspace/view fast path), GRGAD_THREADS=%d\n",
+              ParallelismDegree());
+  const std::vector<CandidateResult> candidates = CompareCandidateKernels();
   std::printf("Scoring comparison (frozen seed detectors vs GEMM/parallel "
               "fast path), GRGAD_THREADS=%d\n", ParallelismDegree());
   const std::vector<ScoringResult> scoring = CompareScoringKernels();
@@ -554,8 +666,24 @@ void WriteMicroJson() {
     return;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"grgad-micro-v3\",\n");
+  std::fprintf(f, "  \"schema\": \"grgad-micro-v4\",\n");
   std::fprintf(f, "  \"threads\": %d,\n", ParallelismDegree());
+  std::fprintf(f, "  \"candidates\": [\n");
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const CandidateResult& r = candidates[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"shape\": \"%s\", "
+                 "\"seed_ms\": %.6f, \"opt_ms\": %.6f, \"speedup\": %.3f",
+                 r.name.c_str(), r.shape.c_str(), r.seed_ms, r.opt_ms,
+                 r.seed_ms / (r.opt_ms > 0.0 ? r.opt_ms : 1e-9));
+    if (r.steady_workspace_allocs >= 0) {
+      std::fprintf(f,
+                   ", \"workspace\": {\"steady_heap_allocs\": %lld}",
+                   static_cast<long long>(r.steady_workspace_allocs));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < candidates.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"kernels\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const KernelResult& r = results[i];

@@ -4,6 +4,13 @@
 
 namespace grgad {
 
+void RunContext::RecordSubStage(std::string stage, double seconds) {
+  timings_.push_back({stage, seconds});
+  if (on_progress) {
+    on_progress({std::move(stage), /*finished=*/true, seconds});
+  }
+}
+
 StageScope::StageScope(RunContext* ctx, std::string stage)
     : ctx_(ctx), stage_(std::move(stage)) {
   if (ctx_ != nullptr && ctx_->on_progress) {

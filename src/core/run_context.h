@@ -65,6 +65,12 @@ class RunContext {
   /// single RunPipeline call by design, e.g. run + rescore).
   const std::vector<StageTiming>& stage_timings() const { return timings_; }
 
+  /// Records an externally measured sub-stage timing (e.g. the candidate
+  /// stage's "candidates/search" phase, clocked inside the sampler where a
+  /// StageScope cannot reach) and fires the finished progress event. Call
+  /// from the driving thread only.
+  void RecordSubStage(std::string stage, double seconds);
+
   /// Sum of stage_timings() seconds.
   double TotalSeconds() const {
     double total = 0.0;

@@ -61,7 +61,18 @@ Result<CandidateStageOutput> RunCandidateStage(const Graph& g,
   StageScope scope(ctx, "sampling");
   GroupSampler sampler(options.sampler);
   CandidateStageOutput out;
-  out.groups = sampler.Sample(g, anchors);
+  // With profile telemetry on, the sampler clocks its three phases and they
+  // land alongside the top-level "sampling" timing (scoring-style
+  // sub-stages: candidates/search, candidates/components,
+  // candidates/select).
+  const bool profile = ctx != nullptr && ctx->profile;
+  SampleTelemetry telemetry;
+  out.groups = sampler.Sample(g, anchors, profile ? &telemetry : nullptr);
+  if (profile) {
+    ctx->RecordSubStage("candidates/search", telemetry.search_seconds);
+    ctx->RecordSubStage("candidates/components", telemetry.components_seconds);
+    ctx->RecordSubStage("candidates/select", telemetry.select_seconds);
+  }
   if (Cancelled(ctx)) return CancelledIn("sampling");
   GRGAD_LOG(kDebug) << "pipeline: " << out.groups.size()
                     << " candidate groups";

@@ -77,7 +77,10 @@ Result<AnchorStageOutput> RunAnchorStage(const Graph& g,
                                          RunContext* ctx = nullptr);
 
 /// Samples candidate groups from `anchors` (Alg. 1). An empty anchor set
-/// yields an empty (but OK) candidate set.
+/// yields an empty (but OK) candidate set. With ctx->profile set, the
+/// sampler's phases are reported as "candidates/search" /
+/// "candidates/components" / "candidates/select" sub-stage timings
+/// alongside the top-level "sampling" entry.
 Result<CandidateStageOutput> RunCandidateStage(
     const Graph& g, const std::vector<int>& anchors,
     const TpGrGadOptions& options, RunContext* ctx = nullptr);

@@ -31,22 +31,36 @@ bool ParseAugmentationKind(const std::string& name, AugmentationKind* out) {
 
 namespace {
 
+// The augmentation bodies are generic over the group representation: a
+// materialized Graph (the seed shape) or a borrowed SubgraphView (the
+// candidate fast path). Both expose num_nodes/Neighbors/ForEachEdge/
+// attr_dim; only attribute-row access differs.
+const double* AttrRowOf(const Graph& g, int v) {
+  return g.attributes().RowPtr(v);
+}
+const double* AttrRowOf(const SubgraphView& g, int v) { return g.AttrRow(v); }
+
 /// Editable copy of a small attributed graph.
 struct MutableGroup {
   int n = 0;
   std::vector<std::vector<double>> attrs;      // n rows
   std::vector<std::pair<int, int>> edges;      // u < v
 
-  static MutableGroup From(const Graph& g) {
+  template <typename G>
+  static MutableGroup From(const G& g) {
     MutableGroup m;
     m.n = g.num_nodes();
     m.attrs.resize(m.n);
     const int d = static_cast<int>(g.attr_dim());
     for (int v = 0; v < m.n; ++v) {
       m.attrs[v].resize(d);
-      for (int j = 0; j < d; ++j) m.attrs[v][j] = g.attributes()(v, j);
+      if (d == 0) continue;
+      const double* row = AttrRowOf(g, v);
+      for (int j = 0; j < d; ++j) m.attrs[v][j] = row[j];
     }
-    m.edges = g.Edges();
+    // Streamed off the CSR in Edges() order — no O(E) intermediate vector.
+    m.edges.reserve(g.num_edges());
+    g.ForEachEdge([&m](int u, int v) { m.edges.emplace_back(u, v); });
     return m;
   }
 
@@ -95,19 +109,21 @@ struct MutableGroup {
 };
 
 /// Mean attribute vector over `nodes` of `g`.
-std::vector<double> MeanAttr(const Graph& g, const std::vector<int>& nodes) {
+template <typename G>
+std::vector<double> MeanAttr(const G& g, const std::vector<int>& nodes) {
   const int d = static_cast<int>(g.attr_dim());
   std::vector<double> out(d, 0.0);
-  if (nodes.empty()) return out;
+  if (nodes.empty() || d == 0) return out;
   for (int v : nodes) {
-    for (int j = 0; j < d; ++j) out[j] += g.attributes()(v, j);
+    const double* row = AttrRowOf(g, v);
+    for (int j = 0; j < d; ++j) out[j] += row[j];
   }
   for (double& x : out) x /= static_cast<double>(nodes.size());
   return out;
 }
 
-Graph AugmentPba(const Graph& group, const FoundPatterns& patterns,
-                 Rng* rng) {
+template <typename G>
+Graph AugmentPba(const G& group, const FoundPatterns& patterns, Rng* rng) {
   MutableGroup m = MutableGroup::From(group);
   std::set<int> drop;
   // Trees: drop the root (Alg. 2 line 7).
@@ -130,8 +146,8 @@ Graph AugmentPba(const Graph& group, const FoundPatterns& patterns,
   return m.Build();
 }
 
-Graph AugmentPpa(const Graph& group, const FoundPatterns& patterns,
-                 Rng* rng) {
+template <typename G>
+Graph AugmentPpa(const G& group, const FoundPatterns& patterns, Rng* rng) {
   MutableGroup m = MutableGroup::From(group);
   // Trees: add a child to the root whose attributes average the existing
   // children (line 8).
@@ -158,7 +174,8 @@ Graph AugmentPpa(const Graph& group, const FoundPatterns& patterns,
   return m.Build();
 }
 
-Graph AugmentNodeDrop(const Graph& group, Rng* rng) {
+template <typename G>
+Graph AugmentNodeDrop(const G& group, Rng* rng) {
   MutableGroup m = MutableGroup::From(group);
   const int k = std::max(1, static_cast<int>(0.15 * group.num_nodes()));
   std::set<int> drop;
@@ -170,7 +187,8 @@ Graph AugmentNodeDrop(const Graph& group, Rng* rng) {
   return m.Build();
 }
 
-Graph AugmentEdgeRemove(const Graph& group, Rng* rng) {
+template <typename G>
+Graph AugmentEdgeRemove(const G& group, Rng* rng) {
   MutableGroup m = MutableGroup::From(group);
   if (m.edges.empty()) return m.Build();
   const int k = std::max(1, static_cast<int>(0.15 * m.edges.size()));
@@ -185,7 +203,8 @@ Graph AugmentEdgeRemove(const Graph& group, Rng* rng) {
   return m.Build();
 }
 
-Graph AugmentFeatureMask(const Graph& group, Rng* rng) {
+template <typename G>
+Graph AugmentFeatureMask(const G& group, Rng* rng) {
   MutableGroup m = MutableGroup::From(group);
   const int d = static_cast<int>(group.attr_dim());
   if (d == 0) return m.Build();
@@ -198,10 +217,9 @@ Graph AugmentFeatureMask(const Graph& group, Rng* rng) {
   return m.Build();
 }
 
-}  // namespace
-
-Graph Augment(const Graph& group, AugmentationKind kind,
-              const FoundPatterns& patterns, Rng* rng) {
+template <typename G>
+Graph AugmentImpl(const G& group, AugmentationKind kind,
+                  const FoundPatterns& patterns, Rng* rng) {
   GRGAD_CHECK(rng != nullptr);
   GRGAD_CHECK_GT(group.num_nodes(), 0);
   switch (kind) {
@@ -216,7 +234,20 @@ Graph Augment(const Graph& group, AugmentationKind kind,
     case AugmentationKind::kFeatureMask:
       return AugmentFeatureMask(group, rng);
   }
-  return group;
+  GRGAD_CHECK(false);
+  return Graph();
+}
+
+}  // namespace
+
+Graph Augment(const Graph& group, AugmentationKind kind,
+              const FoundPatterns& patterns, Rng* rng) {
+  return AugmentImpl(group, kind, patterns, rng);
+}
+
+Graph Augment(const SubgraphView& group, AugmentationKind kind,
+              const FoundPatterns& patterns, Rng* rng) {
+  return AugmentImpl(group, kind, patterns, rng);
 }
 
 }  // namespace grgad

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/graph/graph.h"
+#include "src/graph/subgraph_view.h"
 #include "src/sampling/pattern_search.h"
 #include "src/util/rng.h"
 
@@ -40,6 +41,12 @@ bool ParseAugmentationKind(const std::string& name, AugmentationKind* out);
 /// PPA/PBA; pass the SearchPatterns result). The returned graph always has
 /// at least one node. Randomness comes from `rng` only.
 Graph Augment(const Graph& group, AugmentationKind kind,
+              const FoundPatterns& patterns, Rng* rng);
+
+/// Same augmentation, straight off a subgraph view (candidate fast path) —
+/// identical output and identical `rng` consumption for the view of the
+/// same group, so the two forms are interchangeable mid-stream.
+Graph Augment(const SubgraphView& group, AugmentationKind kind,
               const FoundPatterns& patterns, Rng* rng);
 
 }  // namespace grgad

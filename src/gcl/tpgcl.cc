@@ -1,11 +1,14 @@
 #include "src/gcl/tpgcl.h"
 
+#include <cmath>
 #include <cstring>
 
 #include "src/graph/operators.h"
+#include "src/graph/subgraph_view.h"
 #include "src/nn/layers.h"
 #include "src/nn/optim.h"
 #include "src/gcl/mine.h"
+#include "src/util/fastpath.h"
 #include "src/util/logging.h"
 
 namespace grgad {
@@ -63,6 +66,87 @@ GraphBatch BuildGraphBatch(const std::vector<Graph>& graphs) {
   return batch;
 }
 
+GraphBatch BuildGraphBatchFromGroups(
+    const Graph& host, const std::vector<std::vector<int>>& groups) {
+  GRGAD_CHECK(!groups.empty());
+  GRGAD_CHECK_GT(host.num_nodes(), 0);
+  const size_t d = host.attr_dim();
+  SubgraphView view;
+  // Sizing pass: exact node and nnz totals per group (the view dedups node
+  // lists the way InducedSubgraph would).
+  std::vector<int> group_nodes(groups.size());
+  size_t total = 0;
+  size_t total_nnz = 0;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    GRGAD_CHECK(!groups[gi].empty());
+    view.Reset(host, groups[gi]);
+    group_nodes[gi] = view.num_nodes();
+    total += static_cast<size_t>(view.num_nodes());
+    // Normalized adjacency nnz: both edge directions plus self loops.
+    total_nnz += 2 * static_cast<size_t>(view.num_edges()) +
+                 static_cast<size_t>(view.num_nodes());
+  }
+  GraphBatch batch;
+  batch.x = Matrix(total, d);
+  std::vector<Triplet> op_triplets;
+  op_triplets.reserve(total_nnz);
+  std::vector<Triplet> pool_triplets;
+  pool_triplets.reserve(total);
+  std::vector<double> inv_sqrt;
+  size_t offset = 0;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    view.Reset(host, groups[gi]);
+    const int n = view.num_nodes();
+    GRGAD_CHECK_EQ(n, group_nodes[gi]);
+    // Symmetric normalization with self loops, exactly as
+    // SymmetricNormalize(AdjacencyMatrix(g), true) computes it: the
+    // self-looped degree is a small exact integer in double, and each entry
+    // is 1.0 * inv_sqrt[i] * inv_sqrt[j].
+    inv_sqrt.resize(n);
+    for (int i = 0; i < n; ++i) {
+      inv_sqrt[i] = 1.0 / std::sqrt(static_cast<double>(view.Degree(i) + 1));
+    }
+    for (int i = 0; i < n; ++i) {
+      // Row i's columns are the sorted union of {i} and its neighbors —
+      // emit the merge in ascending column order so the final FromTriplets
+      // takes its no-sort fast path (and matches the seed's per-group
+      // normalized CSR rows bit for bit).
+      bool self_emitted = false;
+      for (int w : view.Neighbors(i)) {
+        if (!self_emitted && i < w) {
+          op_triplets.push_back({static_cast<int>(offset + i),
+                                 static_cast<int>(offset + i),
+                                 1.0 * inv_sqrt[i] * inv_sqrt[i]});
+          self_emitted = true;
+        }
+        op_triplets.push_back({static_cast<int>(offset + i),
+                               static_cast<int>(offset + w),
+                               1.0 * inv_sqrt[i] * inv_sqrt[w]});
+      }
+      if (!self_emitted) {
+        op_triplets.push_back({static_cast<int>(offset + i),
+                               static_cast<int>(offset + i),
+                               1.0 * inv_sqrt[i] * inv_sqrt[i]});
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(n);
+    for (int v = 0; v < n; ++v) {
+      pool_triplets.push_back(
+          {static_cast<int>(gi), static_cast<int>(offset + v), inv});
+      if (d > 0) {
+        std::memcpy(batch.x.RowPtr(offset + v), view.AttrRow(v),
+                    d * sizeof(double));
+      }
+    }
+    offset += static_cast<size_t>(n);
+  }
+  batch.op = std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromTriplets(total, total, std::move(op_triplets)));
+  batch.pool = std::make_shared<const SparseMatrix>(SparseMatrix::FromTriplets(
+      groups.size(), total, std::move(pool_triplets)));
+  return batch;
+}
+
 Tpgcl::Tpgcl(TpgclOptions options) : options_(options) {}
 
 TpgclResult Tpgcl::FitEmbed(
@@ -80,22 +164,42 @@ TpgclResult Tpgcl::FitEmbed(
                                                    : nullptr;
   ArenaScope arena_scope(arena);
 
-  // --- Views: pattern search + one PPA and one PBA view per group. ---
-  std::vector<Graph> originals, positives, negatives;
-  originals.reserve(m);
+  // --- Views: pattern search + one PPA and one PBA view per group. On the
+  // candidate fast path a single retargeted SubgraphView replaces the
+  // per-group InducedSubgraph copies (identical patterns, identical rng
+  // stream, bitwise identical batches — tests pin this). The augmented
+  // views are real graphs either way: PPA/PBA add and remove nodes. ---
+  std::vector<Graph> positives, negatives;
   positives.reserve(m);
   negatives.reserve(m);
-  for (const auto& group : groups) {
-    Graph induced = host.InducedSubgraph(group);
-    const FoundPatterns patterns =
-        SearchPatterns(induced, options_.pattern_options);
-    positives.push_back(
-        Augment(induced, options_.positive_aug, patterns, &rng));
-    negatives.push_back(
-        Augment(induced, options_.negative_aug, patterns, &rng));
-    originals.push_back(std::move(induced));
+  GraphBatch orig_batch;
+  if (CandidateFastPathEnabled()) {
+    SubgraphView view;
+    for (const auto& group : groups) {
+      view.Reset(host, group);
+      const FoundPatterns patterns =
+          SearchPatterns(view, options_.pattern_options);
+      positives.push_back(
+          Augment(view, options_.positive_aug, patterns, &rng));
+      negatives.push_back(
+          Augment(view, options_.negative_aug, patterns, &rng));
+    }
+    orig_batch = BuildGraphBatchFromGroups(host, groups);
+  } else {
+    std::vector<Graph> originals;
+    originals.reserve(m);
+    for (const auto& group : groups) {
+      Graph induced = host.InducedSubgraph(group);
+      const FoundPatterns patterns =
+          SearchPatterns(induced, options_.pattern_options);
+      positives.push_back(
+          Augment(induced, options_.positive_aug, patterns, &rng));
+      negatives.push_back(
+          Augment(induced, options_.negative_aug, patterns, &rng));
+      originals.push_back(std::move(induced));
+    }
+    orig_batch = BuildGraphBatch(originals);
   }
-  const GraphBatch orig_batch = BuildGraphBatch(originals);
   const GraphBatch pos_batch = BuildGraphBatch(positives);
   const GraphBatch neg_batch = BuildGraphBatch(negatives);
 

@@ -68,6 +68,15 @@ struct GraphBatch {
 /// Builds the union batch; all graphs must share the attribute width.
 GraphBatch BuildGraphBatch(const std::vector<Graph>& graphs);
 
+/// Builds the union batch of the subgraphs of `host` induced by `groups`
+/// WITHOUT materializing them: one SubgraphView is retargeted per group and
+/// the block-diagonal normalized adjacency, stacked attributes, and pool
+/// matrix are emitted straight off it. Bitwise identical to
+/// BuildGraphBatch({host.InducedSubgraph(group)...}) — the candidate fast
+/// path routes FitEmbed's original-group batch through this.
+GraphBatch BuildGraphBatchFromGroups(
+    const Graph& host, const std::vector<std::vector<int>>& groups);
+
 /// The TPGCL trainer.
 class Tpgcl {
  public:

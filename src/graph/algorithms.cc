@@ -1,6 +1,5 @@
 #include "src/graph/algorithms.h"
 
-#include <algorithm>
 #include <deque>
 #include <queue>
 #include <unordered_set>
@@ -26,48 +25,46 @@ std::vector<int> BfsDistances(const Graph& g, int src, int max_depth) {
   return dist;
 }
 
-std::vector<int> ShortestPath(const Graph& g, int src, int dst) {
+void BfsDistances(const Graph& g, int src, int max_depth,
+                  TraversalWorkspace* ws) {
   GRGAD_CHECK(src >= 0 && src < g.num_nodes());
-  GRGAD_CHECK(dst >= 0 && dst < g.num_nodes());
-  if (src == dst) return {src};
-  std::vector<int> parent(g.num_nodes(), -1);
-  std::deque<int> queue = {src};
-  parent[src] = src;
-  while (!queue.empty()) {
-    const int u = queue.front();
-    queue.pop_front();
+  GRGAD_CHECK(ws != nullptr);
+  ws->Begin(g.num_nodes());
+  ws->Mark(src);
+  ws->hop[src] = 0;
+  ws->order.push_back(src);
+  for (size_t head = 0; head < ws->order.size(); ++head) {
+    const int u = ws->order[head];
+    if (max_depth >= 0 && ws->hop[u] >= max_depth) continue;
     for (int w : g.Neighbors(u)) {
-      if (parent[w] != -1) continue;
-      parent[w] = u;
-      if (w == dst) {
-        std::vector<int> path = {dst};
-        for (int v = dst; v != src; v = parent[v]) path.push_back(parent[v]);
-        std::reverse(path.begin(), path.end());
-        return path;
+      if (!ws->Seen(w)) {
+        ws->Mark(w);
+        ws->hop[w] = ws->hop[u] + 1;
+        ws->order.push_back(w);
       }
-      queue.push_back(w);
     }
   }
-  return {};
 }
 
 bool BellmanFord(const Graph& g, int src, const std::vector<double>& weights,
                  std::vector<double>* dist, std::vector<int>* parent) {
   GRGAD_CHECK(src >= 0 && src < g.num_nodes());
   GRGAD_CHECK(dist != nullptr && parent != nullptr);
-  const auto edges = g.Edges();
-  GRGAD_CHECK_EQ(weights.size(), edges.size());
+  GRGAD_CHECK_EQ(weights.size(), static_cast<size_t>(g.num_edges()));
   constexpr double kInf = std::numeric_limits<double>::infinity();
   dist->assign(g.num_nodes(), kInf);
   parent->assign(g.num_nodes(), -1);
   (*dist)[src] = 0.0;
   (*parent)[src] = src;
   bool changed = true;
+  // Edges stream straight out of the CSR in Edges() order (the weight
+  // index order) — the seed materialized an O(E) vector<pair> per call,
+  // which the per-pair weighted path search paid per anchor pair.
   for (int round = 0; round < g.num_nodes() && changed; ++round) {
     changed = false;
-    for (size_t e = 0; e < edges.size(); ++e) {
-      const auto [u, v] = edges[e];
-      const double w = weights[e];
+    size_t e = 0;
+    g.ForEachEdge([&](int u, int v) {
+      const double w = weights[e++];
       if ((*dist)[u] + w < (*dist)[v]) {
         (*dist)[v] = (*dist)[u] + w;
         (*parent)[v] = u;
@@ -78,17 +75,62 @@ bool BellmanFord(const Graph& g, int src, const std::vector<double>& weights,
         (*parent)[u] = v;
         changed = true;
       }
-    }
+    });
   }
   // One more pass: any improvement means a negative cycle.
-  for (size_t e = 0; e < edges.size(); ++e) {
-    const auto [u, v] = edges[e];
-    const double w = weights[e];
+  bool negative_cycle = false;
+  size_t e = 0;
+  g.ForEachEdge([&](int u, int v) {
+    const double w = weights[e++];
     if ((*dist)[u] + w < (*dist)[v] || (*dist)[v] + w < (*dist)[u]) {
-      return false;
+      negative_cycle = true;
     }
+  });
+  return !negative_cycle;
+}
+
+bool BellmanFord(const Graph& g, int src, const std::vector<double>& weights,
+                 TraversalWorkspace* ws) {
+  GRGAD_CHECK(src >= 0 && src < g.num_nodes());
+  GRGAD_CHECK(ws != nullptr);
+  GRGAD_CHECK_EQ(weights.size(), static_cast<size_t>(g.num_edges()));
+  ws->Begin(g.num_nodes());
+  ws->Mark(src);
+  ws->dist[src] = 0.0;
+  ws->parent[src] = src;
+  bool changed = true;
+  for (int round = 0; round < g.num_nodes() && changed; ++round) {
+    changed = false;
+    size_t e = 0;
+    g.ForEachEdge([&](int u, int v) {
+      const double w = weights[e++];
+      // ws->Dist reads +inf for nodes not yet reached this epoch — the
+      // same semantics as the seed's assign(n, inf) without the O(n) fill.
+      // Both relaxations re-read, exactly like the seed: with negative
+      // weights the second test must see the first one's update.
+      if (ws->Dist(u) + w < ws->Dist(v)) {
+        ws->Mark(v);
+        ws->dist[v] = ws->Dist(u) + w;
+        ws->parent[v] = u;
+        changed = true;
+      }
+      if (ws->Dist(v) + w < ws->Dist(u)) {
+        ws->Mark(u);
+        ws->dist[u] = ws->Dist(v) + w;
+        ws->parent[u] = v;
+        changed = true;
+      }
+    });
   }
-  return true;
+  bool negative_cycle = false;
+  size_t e = 0;
+  g.ForEachEdge([&](int u, int v) {
+    const double w = weights[e++];
+    if (ws->Dist(u) + w < ws->Dist(v) || ws->Dist(v) + w < ws->Dist(u)) {
+      negative_cycle = true;
+    }
+  });
+  return !negative_cycle;
 }
 
 std::vector<int> BellmanFordPath(const Graph& g, int src, int dst,
@@ -138,28 +180,42 @@ void Dijkstra(const Graph& g, int src,
   }
 }
 
-BfsTree BuildBfsTree(const Graph& g, int root, int max_depth) {
-  GRGAD_CHECK(root >= 0 && root < g.num_nodes());
-  BfsTree tree;
-  tree.parent.assign(g.num_nodes(), -1);
-  tree.depth.assign(g.num_nodes(), kUnreachable);
-  tree.parent[root] = root;
-  tree.depth[root] = 0;
-  tree.order.push_back(root);
-  std::deque<int> queue = {root};
-  while (!queue.empty()) {
-    const int u = queue.front();
-    queue.pop_front();
-    if (max_depth >= 0 && tree.depth[u] >= max_depth) continue;
-    for (int w : g.Neighbors(u)) {
-      if (tree.parent[w] != -1) continue;
-      tree.parent[w] = u;
-      tree.depth[w] = tree.depth[u] + 1;
-      tree.order.push_back(w);
-      queue.push_back(w);
+void Dijkstra(const Graph& g, int src, std::span<const double> slot_costs,
+              double max_cost, TraversalWorkspace* ws) {
+  GRGAD_CHECK(src >= 0 && src < g.num_nodes());
+  GRGAD_CHECK(ws != nullptr);
+  GRGAD_CHECK_EQ(slot_costs.size(), static_cast<size_t>(g.num_adj_slots()));
+  ws->Begin(g.num_nodes());
+  // Total pushes are bounded by 1 + one per successful relaxation, and each
+  // directed slot can relax at most once per improvement chain; reserving
+  // the bound keeps steady-state traversals growth-free.
+  ws->ReserveHeap(static_cast<size_t>(g.num_adj_slots()) + 1);
+  ws->Mark(src);
+  ws->dist[src] = 0.0;
+  ws->parent[src] = src;
+  ws->PushHeap(0.0, src);
+  const std::greater<std::pair<double, int>> cmp;
+  while (!ws->heap.empty()) {
+    const auto [d, u] = ws->heap.front();
+    std::pop_heap(ws->heap.begin(), ws->heap.end(), cmp);
+    ws->heap.pop_back();
+    if (d > ws->dist[u]) continue;  // Stale entry (u is marked: it was pushed).
+    auto nb = g.Neighbors(u);
+    const double* costs = slot_costs.data() + g.AdjOffset(u);
+    for (size_t i = 0; i < nb.size(); ++i) {
+      const int w = nb[i];
+      const double c = costs[i];
+      GRGAD_DCHECK(c >= 0.0);
+      const double nd = d + c;
+      if (max_cost > 0.0 && nd > max_cost) continue;
+      if (nd < ws->Dist(w)) {
+        ws->Mark(w);
+        ws->dist[w] = nd;
+        ws->parent[w] = u;
+        ws->PushHeap(nd, w);
+      }
     }
   }
-  return tree;
 }
 
 std::vector<int> ConnectedComponents(const Graph& g) {
@@ -183,6 +239,32 @@ std::vector<int> ConnectedComponents(const Graph& g) {
     ++next;
   }
   return comp;
+}
+
+std::span<const int> ConnectedComponents(const Graph& g,
+                                         TraversalWorkspace* ws) {
+  GRGAD_CHECK(ws != nullptr);
+  ws->Begin(g.num_nodes());
+  int next = 0;
+  for (int s = 0; s < g.num_nodes(); ++s) {
+    if (ws->Seen(s)) continue;
+    ws->Mark(s);
+    ws->comp[s] = next;
+    ws->order.clear();
+    ws->order.push_back(s);
+    for (size_t head = 0; head < ws->order.size(); ++head) {
+      const int u = ws->order[head];
+      for (int w : g.Neighbors(u)) {
+        if (!ws->Seen(w)) {
+          ws->Mark(w);
+          ws->comp[w] = next;
+          ws->order.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return {ws->comp.data(), static_cast<size_t>(g.num_nodes())};
 }
 
 std::vector<std::vector<int>> ComponentsOfSubset(
@@ -214,66 +296,44 @@ std::vector<std::vector<int>> ComponentsOfSubset(
   return groups;
 }
 
+std::vector<std::vector<int>> ComponentsOfSubset(const Graph& g,
+                                                 const std::vector<int>& nodes,
+                                                 TraversalWorkspace* ws) {
+  GRGAD_CHECK(ws != nullptr);
+  ws->Begin(g.num_nodes());
+  // Subset membership on the secondary marks, group-visited on the primary.
+  for (int v : nodes) {
+    GRGAD_CHECK(v >= 0 && v < g.num_nodes());
+    ws->Mark2(v);
+  }
+  std::vector<std::vector<int>> groups;
+  for (int start : nodes) {
+    if (ws->Seen(start)) continue;
+    std::vector<int> group;
+    ws->order.clear();
+    ws->order.push_back(start);
+    ws->Mark(start);
+    for (size_t head = 0; head < ws->order.size(); ++head) {
+      const int u = ws->order[head];
+      group.push_back(u);
+      for (int w : g.Neighbors(u)) {
+        if (!ws->Seen(w) && ws->Seen2(w)) {
+          ws->Mark(w);
+          ws->order.push_back(w);
+        }
+      }
+    }
+    std::sort(group.begin(), group.end());
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
 std::vector<int> KHopNeighborhood(const Graph& g, int v, int k) {
   const std::vector<int> dist = BfsDistances(g, v, k);
   std::vector<int> out;
   for (int u = 0; u < g.num_nodes(); ++u) {
     if (dist[u] != kUnreachable) out.push_back(u);
-  }
-  return out;
-}
-
-namespace {
-
-/// Canonical form of a cycle through v: rotate so v is first, then pick the
-/// lexicographically smaller of the two directions.
-std::vector<int> CanonicalCycle(std::vector<int> cycle) {
-  // cycle[0] is already v by construction of the DFS.
-  std::vector<int> reversed = {cycle[0]};
-  reversed.insert(reversed.end(), cycle.rbegin(), cycle.rend() - 1);
-  return std::min(cycle, reversed);
-}
-
-}  // namespace
-
-std::vector<std::vector<int>> CyclesThrough(const Graph& g, int v, int max_len,
-                                            int max_cycles,
-                                            int64_t max_steps) {
-  GRGAD_CHECK(v >= 0 && v < g.num_nodes());
-  GRGAD_CHECK_GE(max_len, 3);
-  std::vector<std::vector<int>> out;
-  std::vector<uint8_t> on_path(g.num_nodes(), 0);
-  std::vector<int> path = {v};
-  on_path[v] = 1;
-  // Iterative DFS with explicit neighbor cursors. Only expand nodes > v
-  // cannot be required (cycles may pass through smaller ids), so dedupe via
-  // canonical forms instead.
-  std::vector<std::vector<int>> seen;
-  std::vector<size_t> cursor = {0};
-  int64_t steps = 0;
-  while (!path.empty() && ++steps <= max_steps &&
-         out.size() < static_cast<size_t>(max_cycles)) {
-    const int u = path.back();
-    auto nb = g.Neighbors(u);
-    if (cursor.back() >= nb.size()) {
-      on_path[u] = 0;
-      path.pop_back();
-      cursor.pop_back();
-      continue;
-    }
-    const int w = nb[cursor.back()++];
-    if (w == v && path.size() >= 3) {
-      std::vector<int> cyc = CanonicalCycle(path);
-      if (std::find(seen.begin(), seen.end(), cyc) == seen.end()) {
-        seen.push_back(cyc);
-        out.push_back(std::move(cyc));
-      }
-      continue;
-    }
-    if (on_path[w] || path.size() >= static_cast<size_t>(max_len)) continue;
-    path.push_back(w);
-    on_path[w] = 1;
-    cursor.push_back(0);
   }
   return out;
 }

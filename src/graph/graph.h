@@ -45,6 +45,31 @@ class Graph {
   /// All undirected edges as (u, v) with u < v.
   std::vector<std::pair<int, int>> Edges() const;
 
+  /// Visits every undirected edge as visitor(u, v) with u < v, in exactly
+  /// the Edges() order, without materializing the O(E) vector — callers
+  /// that index per-edge data (e.g. Bellman–Ford weights) keep their own
+  /// running edge counter. Hot-path replacement for Edges().
+  template <typename Visitor>
+  void ForEachEdge(Visitor&& visitor) const {
+    for (int u = 0; u < num_nodes_; ++u) {
+      for (int i = offsets_[u]; i < offsets_[u + 1]; ++i) {
+        const int v = adj_[i];
+        if (v > u) visitor(u, v);
+      }
+    }
+  }
+
+  /// First adjacency-slot index of v's neighbor row: Neighbors(v)[i] lives
+  /// in slot AdjOffset(v) + i of the flat [0, num_adj_slots()) slot space.
+  /// Lets per-directed-edge side tables (e.g. precomputed traversal costs)
+  /// be indexed in O(1) while walking a neighbor row.
+  int AdjOffset(int v) const {
+    GRGAD_DCHECK(v >= 0 && v < num_nodes_);
+    return offsets_[v];
+  }
+  /// Total directed adjacency slots (2 * num_edges()).
+  int num_adj_slots() const { return static_cast<int>(adj_.size()); }
+
   /// Node attribute matrix (num_nodes x attr_dim); empty if unset.
   const Matrix& attributes() const { return attributes_; }
   size_t attr_dim() const { return attributes_.cols(); }

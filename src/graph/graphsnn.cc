@@ -55,45 +55,52 @@ int EdgesWithin(const Graph& g, const std::vector<int>& nodes) {
 }  // namespace
 
 std::vector<double> GraphSnnEdgeWeights(const Graph& g, double lambda) {
-  const auto edges = g.Edges();
-  std::vector<double> weights(edges.size(), 0.0);
+  std::vector<double> weights(g.num_edges(), 0.0);
   // Each edge's weight is a pure function of the graph, so edges partition
   // freely across the pool; per-chunk scratch keeps the hot loop free of
   // per-edge vector allocations. Per-edge arithmetic is identical to the
   // seed loop, so weights are bitwise equal on both paths and at any
   // GRGAD_THREADS (MH-GAE trains against this matrix — training goldens
   // depend on that equality).
-  auto weigh_range = [&](size_t begin, size_t end) {
-    OverlapScratch scratch;
-    for (size_t e = begin; e < end; ++e) {
-      const auto [u, v] = edges[e];
-      ClosedNeighborhoodOverlap(g, u, v, &scratch);
-      const double nv = static_cast<double>(scratch.overlap.size());
-      if (nv < 2.0) continue;  // Denominator |V|*(|V|-1) undefined/zero.
-      const double ne = EdgesWithin(g, scratch.overlap);
-      weights[e] = ne / (nv * (nv - 1.0)) * std::pow(nv, lambda);
-    }
+  auto weigh_edge = [&](size_t e, int u, int v, OverlapScratch* scratch) {
+    ClosedNeighborhoodOverlap(g, u, v, scratch);
+    const double nv = static_cast<double>(scratch->overlap.size());
+    if (nv < 2.0) return;  // Denominator |V|*(|V|-1) undefined/zero.
+    const double ne = EdgesWithin(g, scratch->overlap);
+    weights[e] = ne / (nv * (nv - 1.0)) * std::pow(nv, lambda);
   };
   if (ScoringFastPathEnabled()) {
-    ParallelFor(edges.size(), 32, weigh_range);
+    // The chunked pool loop needs random access by edge index, so this
+    // path materializes the edge list once.
+    const auto edges = g.Edges();
+    ParallelFor(edges.size(), 32, [&](size_t begin, size_t end) {
+      OverlapScratch scratch;
+      for (size_t e = begin; e < end; ++e) {
+        weigh_edge(e, edges[e].first, edges[e].second, &scratch);
+      }
+    });
   } else {
-    weigh_range(0, edges.size());
+    // Serial: stream edges straight off the CSR (Edges() order).
+    OverlapScratch scratch;
+    size_t e = 0;
+    g.ForEachEdge(
+        [&](int u, int v) { weigh_edge(e++, u, v, &scratch); });
   }
   return weights;
 }
 
 SparseMatrix GraphSnnAdjacency(const Graph& g,
                                const GraphSnnOptions& options) {
-  const auto edges = g.Edges();
   const std::vector<double> weights =
       GraphSnnEdgeWeights(g, options.lambda);
   std::vector<Triplet> t;
-  t.reserve(edges.size() * 2);
-  for (size_t e = 0; e < edges.size(); ++e) {
-    const auto [u, v] = edges[e];
+  t.reserve(weights.size() * 2);
+  size_t e = 0;
+  g.ForEachEdge([&](int u, int v) {
     t.push_back({u, v, weights[e]});
     t.push_back({v, u, weights[e]});
-  }
+    ++e;
+  });
   SparseMatrix out =
       SparseMatrix::FromTriplets(g.num_nodes(), g.num_nodes(), std::move(t));
   if (options.max_normalize) out = out.MaxNormalized();

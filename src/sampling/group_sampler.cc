@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <span>
 
 #include "src/graph/algorithms.h"
 #include "src/graph/graphsnn.h"
+#include "src/graph/traversal_workspace.h"
+#include "src/util/fastpath.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
+#include "src/util/timer.h"
 
 namespace grgad {
 
@@ -38,22 +43,288 @@ std::vector<int> PathFromParents(const std::vector<int>& parent, int src,
   return path;
 }
 
+/// PathFromParents over a workspace's stamped parents (same guards).
+std::vector<int> PathFromWorkspace(const TraversalWorkspace& ws, int src,
+                                   int dst) {
+  if (ws.Parent(dst) == -1) return {};
+  std::vector<int> path = {dst};
+  for (int u = dst; u != src; u = ws.Parent(u)) {
+    path.push_back(ws.Parent(u));
+    if (path.size() > static_cast<size_t>(ws.size())) return {};
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// The per-candidate normalization the seed's emit() applied before its
+/// dedup check: truncate oversized raw groups (in emission order), sort,
+/// drop repeats, and enforce the size bounds. True when the group survives.
+bool NormalizeGroup(const GroupSamplerOptions& options,
+                    std::vector<int>* group) {
+  if (static_cast<int>(group->size()) < options.min_group_size) return false;
+  if (static_cast<int>(group->size()) > options.max_group_size) {
+    group->resize(options.max_group_size);
+  }
+  std::sort(group->begin(), group->end());
+  group->erase(std::unique(group->begin(), group->end()), group->end());
+  return static_cast<int>(group->size()) >= options.min_group_size;
+}
+
+/// Seeded uniform subsample when over budget (keeps per-anchor diversity).
+void SubsampleIfOver(const GroupSamplerOptions& options,
+                     std::vector<std::vector<int>>* out) {
+  if (options.max_groups <= 0 ||
+      static_cast<int>(out->size()) <= options.max_groups) {
+    return;
+  }
+  Rng rng(options.seed ^ 0x73616d70ULL);
+  const auto keep = rng.SampleWithoutReplacement(
+      out->size(), static_cast<size_t>(options.max_groups));
+  std::vector<size_t> order(keep.begin(), keep.end());
+  std::sort(order.begin(), order.end());
+  std::vector<std::vector<int>> sampled;
+  sampled.reserve(order.size());
+  for (size_t idx : order) sampled.push_back(std::move((*out)[idx]));
+  *out = std::move(sampled);
+}
+
+/// GraphSNN path costs in g.Edges() index order (empty unless requested).
+std::vector<double> SnnPathCosts(const Graph& g,
+                                 const GroupSamplerOptions& options) {
+  if (options.path_mode != PathSearchMode::kGraphSnnWeighted) return {};
+  const std::vector<double> snn = GraphSnnEdgeWeights(g, /*lambda=*/1.0);
+  std::vector<double> costs(snn.size());
+  for (size_t e = 0; e < snn.size(); ++e) {
+    costs[e] = 1.0 / (options.graphsnn_cost_eps + snn[e]);
+  }
+  return costs;
+}
+
+/// One anchor's search (fast path): BFS tree + one weighted search + cycle
+/// DFS, all on the two leased workspaces, emitting normalized candidates in
+/// exactly the seed's per-anchor order into `out`.
+void SampleAnchor(const Graph& g, const GroupSamplerOptions& options,
+                  const std::vector<int>& anchors, int anchor_index,
+                  bool use_attr_paths, std::span<const double> slot_costs,
+                  const std::vector<double>& snn_costs,
+                  TraversalWorkspace* bfs_ws, TraversalWorkspace* alt_ws,
+                  std::vector<std::vector<int>>* out) {
+  const int v = anchors[anchor_index];
+  auto emit = [&options, out](std::vector<int> group) {
+    if (NormalizeGroup(options, &group)) out->push_back(std::move(group));
+  };
+  // One BFS serves pair discovery (hop distances) for every µ; the weighted
+  // parents come from a single Dijkstra — or, in GraphSNN mode, a single
+  // Bellman–Ford (the seed re-ran Bellman–Ford per anchor *pair*).
+  BuildBfsTree(g, v, options.pair_radius, bfs_ws);
+  bool weighted_ok = true;
+  if (use_attr_paths) {
+    Dijkstra(g, v, slot_costs, /*max_cost=*/0.0, alt_ws);
+  } else if (options.path_mode == PathSearchMode::kGraphSnnWeighted) {
+    weighted_ok = BellmanFord(g, v, snn_costs, alt_ws);
+  }
+  // Nearby anchors, ordered by (weighted or hop) distance.
+  std::vector<std::pair<double, int>> nearby;
+  for (int mu : anchors) {
+    if (mu == v || bfs_ws->Hop(mu) == kUnreachable) continue;
+    const double d = use_attr_paths
+                         ? alt_ws->Dist(mu)
+                         : static_cast<double>(bfs_ws->Hop(mu));
+    nearby.emplace_back(d, mu);
+  }
+  std::sort(nearby.begin(), nearby.end());
+
+  // --- Line 5: PathSearch(v, µ) for the nearest anchors. ---
+  std::vector<int> tree_union;
+  int fanout_used = 0;
+  int paths_emitted = 0;
+  for (const auto& [d, mu] : nearby) {
+    if (paths_emitted >= options.max_paths_per_anchor) break;
+    std::vector<int> path;
+    if (use_attr_paths) {
+      path = PathFromWorkspace(*alt_ws, v, mu);
+    } else if (options.path_mode == PathSearchMode::kGraphSnnWeighted) {
+      if (weighted_ok) path = PathFromWorkspace(*alt_ws, v, mu);
+    } else {
+      path = PathFromWorkspace(*bfs_ws, v, mu);
+    }
+    if (path.empty() ||
+        static_cast<int>(path.size()) > options.max_group_size) {
+      continue;
+    }
+    emit(path);
+    ++paths_emitted;
+    // --- Line 7: TreeSearch(v, µ): union of the paths to the nearest
+    // anchors forms the hierarchical structure between them. ---
+    if (fanout_used < options.tree_fanout) {
+      tree_union.insert(tree_union.end(), path.begin(), path.end());
+      ++fanout_used;
+      if (fanout_used >= 2) emit(tree_union);
+    }
+  }
+  // --- Line 10: CycleSearch(v). --- (The weighted results are consumed;
+  // the cycle DFS may reuse that workspace.)
+  for (const auto& cycle :
+       CyclesThrough(g, v, options.cycle_max_len, options.max_cycles_per_anchor,
+                     options.cycle_max_steps, alt_ws)) {
+    emit(cycle);
+  }
+}
+
+/// The sampler's weighted-search workspace pool: these instances carry the
+/// worst-case Dijkstra-heap reserve, so they are kept apart from the
+/// shared Global() pool whose BFS-only users never need it.
+TraversalWorkspacePool& WeightedPool() {
+  static TraversalWorkspacePool* pool = new TraversalWorkspacePool();
+  return *pool;
+}
+
 }  // namespace
 
 GroupSampler::GroupSampler(GroupSamplerOptions options) : options_(options) {}
 
+void GroupSampler::TrimWorkspaces() {
+  TraversalWorkspacePool::Global().Trim();
+  WeightedPool().Trim();
+}
+
 std::vector<std::vector<int>> GroupSampler::Sample(
     const Graph& g, const std::vector<int>& anchors) const {
-  std::vector<std::vector<int>> out;
-  std::set<std::vector<int>> seen;  // Exact-duplicate filter.
-  auto emit = [&](std::vector<int> group) {
-    if (static_cast<int>(group.size()) < options_.min_group_size) return;
-    if (static_cast<int>(group.size()) > options_.max_group_size) {
-      group.resize(options_.max_group_size);
+  return Sample(g, anchors, nullptr);
+}
+
+std::vector<std::vector<int>> GroupSampler::Sample(
+    const Graph& g, const std::vector<int>& anchors,
+    SampleTelemetry* telemetry) const {
+  return CandidateFastPathEnabled() ? SampleFast(g, anchors, telemetry)
+                                    : SampleSeed(g, anchors, telemetry);
+}
+
+std::vector<std::vector<int>> GroupSampler::SampleFast(
+    const Graph& g, const std::vector<int>& anchors,
+    SampleTelemetry* telemetry) const {
+  Timer phase_timer;
+  for (int a : anchors) GRGAD_CHECK(a >= 0 && a < g.num_nodes());
+
+  const std::vector<double> snn_costs = SnnPathCosts(g, options_);
+  const bool use_attr_paths =
+      options_.path_mode == PathSearchMode::kAttributeDistance &&
+      g.has_attributes();
+  // Per-adjacency-slot Dijkstra costs, computed ONCE per call: the seed
+  // re-evaluated the eps + ||x_u - x_v|| functor (a d-dim norm) on every
+  // relaxation attempt of every anchor's Dijkstra. Slot (u, i) holds the
+  // exact value the seed would compute relaxing u -> Neighbors(u)[i].
+  std::vector<double> slot_costs;
+  if (use_attr_paths) {
+    slot_costs.resize(g.num_adj_slots());
+    ParallelFor(static_cast<size_t>(g.num_nodes()), 64,
+                [&](size_t begin, size_t end) {
+                  for (size_t u = begin; u < end; ++u) {
+                    auto nb = g.Neighbors(static_cast<int>(u));
+                    double* costs =
+                        slot_costs.data() + g.AdjOffset(static_cast<int>(u));
+                    for (size_t i = 0; i < nb.size(); ++i) {
+                      costs[i] = options_.attribute_cost_eps +
+                                 AttrDistance(g, static_cast<int>(u), nb[i]);
+                    }
+                  }
+                });
+  }
+
+  // --- candidates/search: anchors fan out over the persistent pool with
+  // leased per-worker workspaces (two per chunk: BFS + weighted/cycles).
+  // The two roles lease from separate pools so only the weighted pool pays
+  // the worst-case Dijkstra-heap reserve (~2E entries; the bound keeps the
+  // steady state allocation-free no matter which worker leases which
+  // workspace, and BFS-only workspaces never carry it). Chunk partitioning
+  // never changes per-anchor results, so the merge below is bitwise
+  // identical at any GRGAD_THREADS. ---
+  std::vector<std::vector<std::vector<int>>> per_anchor(anchors.size());
+  TraversalWorkspacePool& bfs_pool = TraversalWorkspacePool::Global();
+  TraversalWorkspacePool& weighted_pool = WeightedPool();
+  bfs_pool.Prewarm(ParallelismDegree(), g.num_nodes());
+  weighted_pool.Prewarm(
+      ParallelismDegree(), g.num_nodes(),
+      use_attr_paths ? static_cast<size_t>(g.num_adj_slots()) + 1 : 0);
+  ParallelFor(anchors.size(), 1, [&](size_t begin, size_t end) {
+    TraversalWorkspacePool::Lease bfs_ws = bfs_pool.Acquire();
+    TraversalWorkspacePool::Lease alt_ws = weighted_pool.Acquire();
+    for (size_t ai = begin; ai < end; ++ai) {
+      SampleAnchor(g, options_, anchors, static_cast<int>(ai), use_attr_paths,
+                   slot_costs, snn_costs, bfs_ws.get(), alt_ws.get(),
+                   &per_anchor[ai]);
     }
-    std::sort(group.begin(), group.end());
-    group.erase(std::unique(group.begin(), group.end()), group.end());
-    if (static_cast<int>(group.size()) < options_.min_group_size) return;
+  });
+  if (telemetry != nullptr) {
+    telemetry->search_seconds = phase_timer.ElapsedSeconds();
+    phase_timer.Reset();
+  }
+
+  // --- candidates/components: bridged connected components of the anchor
+  // set (extension), workspace-backed. ---
+  std::vector<std::vector<int>> component_groups;
+  if (options_.include_anchor_components) {
+    std::vector<uint8_t> is_anchor(g.num_nodes(), 0);
+    for (int a : anchors) is_anchor[a] = 1;
+    std::vector<int> expanded = anchors;
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      if (is_anchor[u]) continue;
+      int anchor_neighbors = 0;
+      for (int w : g.Neighbors(u)) anchor_neighbors += is_anchor[w];
+      if (anchor_neighbors >= 2) expanded.push_back(u);
+    }
+    std::sort(expanded.begin(), expanded.end());
+    TraversalWorkspacePool::Lease ws =
+        TraversalWorkspacePool::Global().Acquire();
+    for (auto& component : ComponentsOfSubset(g, expanded, ws.get())) {
+      if (NormalizeGroup(options_, &component)) {
+        component_groups.push_back(std::move(component));
+      }
+    }
+  }
+  if (telemetry != nullptr) {
+    telemetry->components_seconds = phase_timer.ElapsedSeconds();
+    phase_timer.Reset();
+  }
+
+  // --- candidates/select: deterministic ascending-anchor merge. Replaying
+  // the per-anchor candidate lists in anchor order through the global dedup
+  // reproduces the seed's single-threaded emission stream bit for bit. ---
+  size_t total = component_groups.size();
+  for (const auto& list : per_anchor) total += list.size();
+  std::vector<std::vector<int>> out;
+  // Pre-reserve from the exact pre-dedup candidate count (dedup only
+  // shrinks), instead of growing through repeated reallocation.
+  out.reserve(total);
+  // Exact-duplicate filter. std::set is deliberate: insertion allocates one
+  // node per *distinct* candidate and never rehashes or reallocates, so
+  // admitting N candidates costs N ordered lookups + at most N node
+  // allocations, with stable iterators and no O(container) growth spikes.
+  std::set<std::vector<int>> seen;
+  auto admit = [&seen, &out](std::vector<int>&& group) {
+    if (seen.insert(group).second) out.push_back(std::move(group));
+  };
+  for (auto& list : per_anchor) {
+    for (auto& group : list) admit(std::move(group));
+  }
+  for (auto& group : component_groups) admit(std::move(group));
+  SubsampleIfOver(options_, &out);
+  if (telemetry != nullptr) {
+    telemetry->select_seconds = phase_timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> GroupSampler::SampleSeed(
+    const Graph& g, const std::vector<int>& anchors,
+    SampleTelemetry* telemetry) const {
+  Timer phase_timer;
+  std::vector<std::vector<int>> out;
+  std::set<std::vector<int>> seen;  // Exact-duplicate filter (see SampleFast).
+  // Same normalization helper as the fast path — the bitwise seed==fast
+  // contract hangs on the two paths sharing it.
+  auto emit = [&](std::vector<int> group) {
+    if (!NormalizeGroup(options_, &group)) return;
     if (seen.insert(group).second) out.push_back(std::move(group));
   };
 
@@ -63,15 +334,7 @@ std::vector<std::vector<int>> GroupSampler::Sample(
     is_anchor[a] = 1;
   }
 
-  // GraphSNN edge costs, if requested (edge index order = g.Edges()).
-  std::vector<double> snn_costs;
-  if (options_.path_mode == PathSearchMode::kGraphSnnWeighted) {
-    const std::vector<double> snn = GraphSnnEdgeWeights(g, /*lambda=*/1.0);
-    snn_costs.resize(snn.size());
-    for (size_t e = 0; e < snn.size(); ++e) {
-      snn_costs[e] = 1.0 / (options_.graphsnn_cost_eps + snn[e]);
-    }
-  }
+  const std::vector<double> snn_costs = SnnPathCosts(g, options_);
   const bool use_attr_paths =
       options_.path_mode == PathSearchMode::kAttributeDistance &&
       g.has_attributes();
@@ -132,6 +395,10 @@ std::vector<std::vector<int>> GroupSampler::Sample(
                                       options_.cycle_max_steps);
     for (const auto& cycle : cycles) emit(cycle);
   }
+  if (telemetry != nullptr) {
+    telemetry->search_seconds = phase_timer.ElapsedSeconds();
+    phase_timer.Reset();
+  }
 
   // --- Extension: bridged connected components of the anchor set. ---
   if (options_.include_anchor_components) {
@@ -147,19 +414,14 @@ std::vector<std::vector<int>> GroupSampler::Sample(
       emit(std::move(component));
     }
   }
+  if (telemetry != nullptr) {
+    telemetry->components_seconds = phase_timer.ElapsedSeconds();
+    phase_timer.Reset();
+  }
 
-  // Seeded uniform subsample when over budget (keeps per-anchor diversity).
-  if (options_.max_groups > 0 &&
-      static_cast<int>(out.size()) > options_.max_groups) {
-    Rng rng(options_.seed ^ 0x73616d70ULL);
-    const auto keep = rng.SampleWithoutReplacement(
-        out.size(), static_cast<size_t>(options_.max_groups));
-    std::vector<size_t> order(keep.begin(), keep.end());
-    std::sort(order.begin(), order.end());
-    std::vector<std::vector<int>> sampled;
-    sampled.reserve(order.size());
-    for (size_t idx : order) sampled.push_back(std::move(out[idx]));
-    out = std::move(sampled);
+  SubsampleIfOver(options_, &out);
+  if (telemetry != nullptr) {
+    telemetry->select_seconds = phase_timer.ElapsedSeconds();
   }
   return out;
 }

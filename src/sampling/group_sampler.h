@@ -18,6 +18,15 @@
 // `max_groups` candidates accumulate, a seeded uniform subsample is
 // returned so every anchor contributes, rather than truncating the anchor
 // loop.
+//
+// Execution: with the candidate fast path on (src/util/fastpath.h, the
+// default), anchors fan out over the persistent thread pool with pooled
+// per-worker TraversalWorkspaces, per-adjacency-slot Dijkstra costs
+// precomputed once per call, and one Bellman–Ford per anchor; per-anchor
+// candidate lists are then merged in ascending anchor order, so the output
+// — groups, order, and the seeded subsample draw — is bitwise identical to
+// the frozen serial seed path at any GRGAD_THREADS
+// (tests/candidate_determinism_test.cc).
 #ifndef GRGAD_SAMPLING_GROUP_SAMPLER_H_
 #define GRGAD_SAMPLING_GROUP_SAMPLER_H_
 
@@ -68,6 +77,14 @@ struct GroupSamplerOptions {
   bool include_anchor_components = true;
 };
 
+/// Optional per-phase wall-time breakdown of one Sample() call, surfaced by
+/// the candidate stage as "candidates/*" sub-stage timings under --profile.
+struct SampleTelemetry {
+  double search_seconds = 0.0;      ///< Per-anchor traversal fan-out.
+  double components_seconds = 0.0;  ///< Anchor-component extension.
+  double select_seconds = 0.0;      ///< Dedup merge + seeded subsample.
+};
+
 /// Candidate-group sampler (Alg. 1).
 class GroupSampler {
  public:
@@ -78,7 +95,30 @@ class GroupSampler {
   std::vector<std::vector<int>> Sample(const Graph& g,
                                        const std::vector<int>& anchors) const;
 
+  /// Sample with an optional per-phase timing breakdown (nullptr skips the
+  /// clock reads entirely).
+  std::vector<std::vector<int>> Sample(const Graph& g,
+                                       const std::vector<int>& anchors,
+                                       SampleTelemetry* telemetry) const;
+
+  /// Releases the pooled traversal workspaces (the shared BFS pool and the
+  /// sampler's weighted-search pool), dropping buffer capacity retained
+  /// from the largest graph sampled so far. For long-lived processes
+  /// switching to much smaller graphs; the next Sample() re-warms.
+  static void TrimWorkspaces();
+
  private:
+  // The frozen seed shape: one anchor at a time, fresh traversal buffers
+  // per call, per-pair Bellman–Ford (micro_benchmarks measures this against
+  // the fast path; SetCandidateFastPath(false) routes here).
+  std::vector<std::vector<int>> SampleSeed(const Graph& g,
+                                           const std::vector<int>& anchors,
+                                           SampleTelemetry* telemetry) const;
+  // Anchor-parallel workspace-backed fast path; bitwise-identical output.
+  std::vector<std::vector<int>> SampleFast(const Graph& g,
+                                           const std::vector<int>& anchors,
+                                           SampleTelemetry* telemetry) const;
+
   GroupSamplerOptions options_;
 };
 

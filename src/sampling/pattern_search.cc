@@ -10,7 +10,8 @@ namespace grgad {
 namespace {
 
 /// All canonical simple cycles of a small graph, up to caps.
-std::vector<std::vector<int>> FindCycles(const Graph& g, int max_len,
+template <typename G>
+std::vector<std::vector<int>> FindCycles(const G& g, int max_len,
                                          int max_cycles) {
   std::vector<std::vector<int>> out;
   std::set<std::vector<int>> seen;
@@ -28,10 +29,10 @@ std::vector<std::vector<int>> FindCycles(const Graph& g, int max_len,
   return out;
 }
 
-}  // namespace
-
-FoundPatterns SearchPatterns(const Graph& group_graph,
-                             const PatternSearchOptions& options) {
+/// The one pattern-search implementation, generic over Graph/SubgraphView.
+template <typename G>
+FoundPatterns SearchPatternsImpl(const G& group_graph,
+                                 const PatternSearchOptions& options) {
   FoundPatterns out;
   const int n = group_graph.num_nodes();
   if (n < 2) return out;
@@ -105,7 +106,8 @@ FoundPatterns SearchPatterns(const Graph& group_graph,
   return out;
 }
 
-TopologyPattern ClassifyGroupPattern(const Graph& group_graph) {
+template <typename G>
+TopologyPattern ClassifyGroupPatternImpl(const G& group_graph) {
   const int n = group_graph.num_nodes();
   const int m = group_graph.num_edges();
   if (n <= 1) return TopologyPattern::kMixed;
@@ -135,6 +137,26 @@ TopologyPattern ClassifyGroupPattern(const Graph& group_graph) {
   for (int v = 0; v < n; ++v) max_deg = std::max(max_deg,
                                                  group_graph.Degree(v));
   return max_deg <= 2 ? TopologyPattern::kPath : TopologyPattern::kTree;
+}
+
+}  // namespace
+
+FoundPatterns SearchPatterns(const Graph& group_graph,
+                             const PatternSearchOptions& options) {
+  return SearchPatternsImpl(group_graph, options);
+}
+
+FoundPatterns SearchPatterns(const SubgraphView& group_view,
+                             const PatternSearchOptions& options) {
+  return SearchPatternsImpl(group_view, options);
+}
+
+TopologyPattern ClassifyGroupPattern(const Graph& group_graph) {
+  return ClassifyGroupPatternImpl(group_graph);
+}
+
+TopologyPattern ClassifyGroupPattern(const SubgraphView& group_view) {
+  return ClassifyGroupPatternImpl(group_view);
 }
 
 }  // namespace grgad

@@ -5,6 +5,11 @@
 // node ids: cycles via bounded enumeration, paths as maximal endpoint-to-
 // endpoint simple chains, trees as BFS trees hanging from branching roots
 // in the acyclic remainder.
+//
+// Both entry points run on a materialized `Graph` (the seed shape) or on a
+// non-materializing `SubgraphView` (the candidate fast path) — the two
+// produce identical patterns, since a view exposes the exact local graph
+// its materialization would (tests/traversal_equivalence_test.cc).
 #ifndef GRGAD_SAMPLING_PATTERN_SEARCH_H_
 #define GRGAD_SAMPLING_PATTERN_SEARCH_H_
 
@@ -12,6 +17,7 @@
 
 #include "src/core/types.h"
 #include "src/graph/graph.h"
+#include "src/graph/subgraph_view.h"
 
 namespace grgad {
 
@@ -44,6 +50,9 @@ struct PatternSearchOptions {
 /// Finds Tree/Path/Cycle patterns in the (small) graph `group_graph`.
 FoundPatterns SearchPatterns(const Graph& group_graph,
                              const PatternSearchOptions& options = {});
+/// Same patterns, straight off a subgraph view (no materialization).
+FoundPatterns SearchPatterns(const SubgraphView& group_view,
+                             const PatternSearchOptions& options = {});
 
 /// Classifies a group's dominant topology pattern (Table II):
 ///  - acyclic + max degree <= 2          -> kPath
@@ -51,6 +60,7 @@ FoundPatterns SearchPatterns(const Graph& group_graph,
 ///  - cyclic and >= half the nodes lie on cycles -> kCycle
 ///  - otherwise                          -> kMixed
 TopologyPattern ClassifyGroupPattern(const Graph& group_graph);
+TopologyPattern ClassifyGroupPattern(const SubgraphView& group_view);
 
 }  // namespace grgad
 

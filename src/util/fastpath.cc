@@ -6,6 +6,7 @@ namespace grgad {
 
 namespace {
 std::atomic<bool> g_scoring_fast_path{true};
+std::atomic<bool> g_candidate_fast_path{true};
 }  // namespace
 
 bool ScoringFastPathEnabled() {
@@ -14,6 +15,14 @@ bool ScoringFastPathEnabled() {
 
 bool SetScoringFastPath(bool enabled) {
   return g_scoring_fast_path.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool CandidateFastPathEnabled() {
+  return g_candidate_fast_path.load(std::memory_order_relaxed);
+}
+
+bool SetCandidateFastPath(bool enabled) {
+  return g_candidate_fast_path.exchange(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace grgad

@@ -1,23 +1,31 @@
-// Global switch for the optimized scoring stage.
+// Global switches for the optimized scoring and candidate stages.
 //
-// Mirrors the training fast-path switch in src/tensor/arena.h: when enabled
-// (the default), the scoring hot paths run their blocked/parallel
-// implementations — GEMM-based pairwise distances and panel-streamed
-// neighbor selection (src/od/neighbor_index.cc), column-parallel ECOD,
-// tree-parallel IsolationForest, edge-parallel GraphSNN weighting. When
-// disabled, every one of those paths falls back to the seed-shaped serial
-// loops so `micro_benchmarks` can measure seed-vs-opt scoring and tests can
-// compare the two paths.
+// Both mirror the training fast-path switch in src/tensor/arena.h: when
+// enabled (the default), the stage hot paths run their blocked/parallel
+// implementations; when disabled, every one of those paths falls back to the
+// seed-shaped serial loops so `micro_benchmarks` can measure seed-vs-opt and
+// tests can compare the two paths.
 //
-// Determinism contract (details in PERF.md, "Scoring stage"): both settings
-// are bitwise reproducible across runs and across GRGAD_THREADS; ECOD,
-// IsolationForest, and GraphSNN produce bitwise identical output under both
-// settings, while the GEMM distance paths (kNN/LOF) match the seed path at
-// the score-*rank* level (the distance identity contracts FMAs differently
-// than the seed's scalar diff-square loop).
+// Scoring (PERF.md, "Scoring stage"): GEMM-based pairwise distances and
+// panel-streamed neighbor selection (src/od/neighbor_index.cc),
+// column-parallel ECOD, tree-parallel IsolationForest, edge-parallel
+// GraphSNN weighting. Both settings are bitwise reproducible across runs and
+// across GRGAD_THREADS; ECOD, IsolationForest, and GraphSNN produce bitwise
+// identical output under both settings, while the GEMM distance paths
+// (kNN/LOF) match the seed path at the score-*rank* level (the distance
+// identity contracts FMAs differently than the seed's scalar loop).
 //
-// This switch lives in src/util (not src/od) because src/graph/graphsnn.cc
-// consults it too, and the graph layer must not depend on the od layer.
+// Candidates (PERF.md, "Candidate stage"): the anchor-parallel
+// workspace-backed `GroupSampler::Sample` (per-worker TraversalWorkspaces,
+// shared adjacency-slot edge costs, one Bellman–Ford per anchor) and the
+// SubgraphView consumers (pattern search, augmentation, the TPGCL batch
+// builder) in place of `Graph::InducedSubgraph` copies. Candidate output —
+// groups, order, and the seeded subsample draw — is bitwise identical under
+// both settings and across GRGAD_THREADS.
+//
+// These switches live in src/util (not src/od or src/sampling) because the
+// graph layer (graphsnn.cc, algorithms) consults them too, and the graph
+// layer must not depend on higher layers.
 #ifndef GRGAD_UTIL_FASTPATH_H_
 #define GRGAD_UTIL_FASTPATH_H_
 
@@ -29,6 +37,13 @@ bool ScoringFastPathEnabled();
 /// Flips the scoring fast path globally; returns the previous setting. Not
 /// intended for concurrent toggling while a scoring call is in flight.
 bool SetScoringFastPath(bool enabled);
+
+/// True when the optimized candidate-stage implementations are active.
+bool CandidateFastPathEnabled();
+
+/// Flips the candidate fast path globally; returns the previous setting. Not
+/// intended for concurrent toggling while a sampling call is in flight.
+bool SetCandidateFastPath(bool enabled);
 
 }  // namespace grgad
 

@@ -1,23 +1,51 @@
 #!/usr/bin/env python3
-"""CI gate over bench_results/micro.json (grgad-micro-v3).
+"""CI gate over bench_results/micro.json (grgad-micro-v4).
 
 Fails (exit 1) when:
-  - the schema is not grgad-micro-v3, or the kernels/scoring/epochs tables
-    are missing or empty;
+  - the schema is not grgad-micro-v4, or the candidates/kernels/scoring/
+    epochs tables are missing or empty;
+  - the candidates table lacks any of the required seed-vs-opt entries
+    (sampler, pattern_search, augment), or the sampler entry reports a
+    nonzero steady-state workspace heap-allocation count;
   - the scoring table lacks any of the required seed-vs-opt entries
     (pairwise, knn, lof, iforest, ecod, graphsnn);
-  - any scoring entry's optimized path regresses more than REGRESSION_LIMIT
-    (1.5x) against its frozen seed baseline on the runner.
+  - any candidates or scoring entry's optimized path regresses more than
+    REGRESSION_LIMIT (1.5x) against its frozen seed baseline on the runner.
 
 The kernels/epochs tables are checked for presence only: their acceptable
 ratios are ISA-dependent (see PERF.md) and already tracked as uploaded
-artifacts, while the scoring table is the gate this stage's rebuild owns.
+artifacts, while the candidates and scoring tables are the gates their
+stage rebuilds own.
 """
 import json
 import sys
 
 REGRESSION_LIMIT = 1.5
+REQUIRED_CANDIDATES = {"sampler", "pattern_search", "augment"}
 REQUIRED_SCORING = {"pairwise", "knn", "lof", "iforest", "ecod", "graphsnn"}
+
+
+def check_gated_table(data, table, required, failures):
+    entries = data.get(table) or []
+    names = {entry.get("name") for entry in entries}
+    for missing in sorted(required - names):
+        failures.append(f"{table} table is missing entry {missing!r}")
+
+    floor = 1.0 / REGRESSION_LIMIT
+    for entry in entries:
+        name = entry.get("name", "?")
+        speedup = entry.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            failures.append(f"{table} entry {name!r} has no speedup")
+            continue
+        print(f"  {table} {name:<15} seed {entry.get('seed_ms', 0.0):9.3f} ms"
+              f"   opt {entry.get('opt_ms', 0.0):9.3f} ms"
+              f"   {speedup:.2f}x")
+        if speedup < floor:
+            failures.append(
+                f"{table} entry {name!r} regressed: opt is"
+                f" {1.0 / speedup:.2f}x slower than seed"
+                f" (limit {REGRESSION_LIMIT}x)")
 
 
 def main() -> int:
@@ -27,39 +55,34 @@ def main() -> int:
 
     failures = []
     schema = data.get("schema")
-    if schema != "grgad-micro-v3":
-        failures.append(f"schema is {schema!r}, expected 'grgad-micro-v3'")
+    if schema != "grgad-micro-v4":
+        failures.append(f"schema is {schema!r}, expected 'grgad-micro-v4'")
 
-    for table in ("kernels", "scoring", "epochs"):
+    for table in ("candidates", "kernels", "scoring", "epochs"):
         if not data.get(table):
             failures.append(f"table {table!r} is missing or empty")
 
-    scoring = data.get("scoring") or []
-    names = {entry.get("name") for entry in scoring}
-    for missing in sorted(REQUIRED_SCORING - names):
-        failures.append(f"scoring table is missing entry {missing!r}")
+    check_gated_table(data, "candidates", REQUIRED_CANDIDATES, failures)
+    check_gated_table(data, "scoring", REQUIRED_SCORING, failures)
 
-    floor = 1.0 / REGRESSION_LIMIT
-    for entry in scoring:
-        name = entry.get("name", "?")
-        speedup = entry.get("speedup")
-        if not isinstance(speedup, (int, float)):
-            failures.append(f"scoring entry {name!r} has no speedup")
+    for entry in data.get("candidates") or []:
+        if entry.get("name") != "sampler":
             continue
-        print(f"  scoring {name:<10} seed {entry.get('seed_ms', 0.0):9.3f} ms"
-              f"   opt {entry.get('opt_ms', 0.0):9.3f} ms"
-              f"   {speedup:.2f}x")
-        if speedup < floor:
+        allocs = (entry.get("workspace") or {}).get("steady_heap_allocs")
+        if allocs is None:
+            failures.append("sampler entry lacks workspace.steady_heap_allocs")
+        elif allocs != 0:
             failures.append(
-                f"scoring entry {name!r} regressed: opt is {1.0 / speedup:.2f}x"
-                f" slower than seed (limit {REGRESSION_LIMIT}x)")
+                f"sampler steady-state workspace heap allocs = {allocs},"
+                f" expected 0")
 
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print(f"OK: {path} is grgad-micro-v3 with a complete scoring table and "
-          f"no opt regression beyond {REGRESSION_LIMIT}x")
+    print(f"OK: {path} is grgad-micro-v4 with complete candidates/scoring "
+          f"tables, 0 steady-state sampler workspace allocs, and no opt "
+          f"regression beyond {REGRESSION_LIMIT}x")
     return 0
 
 

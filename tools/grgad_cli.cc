@@ -224,9 +224,10 @@ void PrintUsage() {
       "                [--json PATH] [--threads=N] [--quiet] [--profile]\n"
       "      Re-score saved artifacts with a different detector — no "
       "re-training.\n\n"
-      "--profile adds fine-grained sub-stage wall times (e.g. the scoring\n"
-      "stage's neighbor-index build vs detector time) to the JSON result's\n"
-      "stage_timings.\n"
+      "--profile adds fine-grained sub-stage wall times (e.g. the\n"
+      "candidate stage's candidates/search|components|select phases, the\n"
+      "scoring stage's neighbor-index build vs detector time) to the JSON\n"
+      "result's stage_timings.\n"
       "--threads=N sets the worker-pool parallelism degree explicitly\n"
       "(equivalent to the GRGAD_THREADS environment variable, which it\n"
       "overrides); results are bitwise identical at any degree.\n"
