@@ -1,6 +1,10 @@
 #include "src/core/artifacts.h"
 
 #include "src/core/options.h"
+#include "src/util/fault.h"
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <climits>
@@ -8,12 +12,18 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <utility>
 
 namespace grgad {
 namespace {
 
-constexpr int kFormatVersion = 1;
+// v2 adds per-file byte counts + FNV-1a 64 checksums and per-field element
+// counts to the manifest, so Load can reject truncation, bit-flips, and
+// missing files up front. v1 directories (no checksums) still load.
+constexpr int kFormatVersion = 2;
+constexpr int kLegacyVersion = 1;
 constexpr const char* kManifestFile = "manifest.txt";
 
 // 17 significant digits round-trip any finite double exactly.
@@ -23,8 +33,25 @@ std::string FormatExact(double v) {
   return buf;
 }
 
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
+  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("artifact/write"));
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
   if (!out) return Status::IoError("cannot open for write: " + path);
   out << content;
   out.flush();
@@ -32,8 +59,23 @@ Status WriteFile(const std::string& path, const std::string& content) {
   return Status::Ok();
 }
 
+/// fsync of a file or directory via its POSIX descriptor; the rename-commit
+/// protocol below is only crash-safe once the tmp files and the tmp
+/// directory itself are durable.
+Status FsyncPath(const std::string& path, bool is_dir) {
+  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("artifact/fsync"));
+  const int fd =
+      ::open(path.c_str(), is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+  return Status::Ok();
+}
+
 Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path);
+  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("artifact/read"));
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -49,19 +91,18 @@ std::string JoinInts(const std::vector<int>& v) {
   return out;
 }
 
-Status SaveDoubles(const std::vector<double>& v, const std::string& path) {
+std::string SerializeDoubles(const std::vector<double>& v) {
   std::string content;
   for (double x : v) {
     content += FormatExact(x);
     content += '\n';
   }
-  return WriteFile(path, content);
+  return content;
 }
 
-Result<std::vector<double>> LoadDoubles(const std::string& path) {
-  auto content = ReadFile(path);
-  if (!content.ok()) return content.status();
-  std::istringstream in(content.value());
+Result<std::vector<double>> ParseDoubles(const std::string& content,
+                                         const std::string& path) {
+  std::istringstream in(content);
   std::vector<double> out;
   std::string token;
   while (in >> token) {
@@ -96,20 +137,18 @@ Result<std::vector<int>> ParseInts(const std::string& line,
 
 // One group per line; a leading count line distinguishes "no groups" from
 // "one empty group".
-Status SaveGroupLines(const std::vector<std::vector<int>>& groups,
-                      const std::string& path) {
+std::string SerializeGroupLines(const std::vector<std::vector<int>>& groups) {
   std::string content = std::to_string(groups.size()) + "\n";
   for (const auto& group : groups) {
     content += JoinInts(group);
     content += '\n';
   }
-  return WriteFile(path, content);
+  return content;
 }
 
-Result<std::vector<std::vector<int>>> LoadGroupLines(const std::string& path) {
-  auto content = ReadFile(path);
-  if (!content.ok()) return content.status();
-  std::istringstream in(content.value());
+Result<std::vector<std::vector<int>>> ParseGroupLines(
+    const std::string& content, const std::string& path) {
+  std::istringstream in(content);
   std::string line;
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("missing count line in " + path);
@@ -133,7 +172,7 @@ Result<std::vector<std::vector<int>>> LoadGroupLines(const std::string& path) {
   return groups;
 }
 
-Status SaveMatrix(const Matrix& m, const std::string& path) {
+std::string SerializeMatrix(const Matrix& m) {
   std::string content =
       std::to_string(m.rows()) + " " + std::to_string(m.cols()) + "\n";
   for (size_t i = 0; i < m.rows(); ++i) {
@@ -143,13 +182,12 @@ Status SaveMatrix(const Matrix& m, const std::string& path) {
     }
     content += '\n';
   }
-  return WriteFile(path, content);
+  return content;
 }
 
-Result<Matrix> LoadMatrix(const std::string& path) {
-  auto content = ReadFile(path);
-  if (!content.ok()) return content.status();
-  std::istringstream in(content.value());
+Result<Matrix> ParseMatrix(const std::string& content,
+                           const std::string& path) {
+  std::istringstream in(content);
   long long rows = 0, cols = 0;
   if (!(in >> rows >> cols)) {
     return Status::InvalidArgument("missing dims line in " + path);
@@ -178,42 +216,11 @@ Result<Matrix> LoadMatrix(const std::string& path) {
   return m;
 }
 
-std::string PathIn(const std::string& dir, const char* file) {
-  return (std::filesystem::path(dir) / file).string();
-}
-
-}  // namespace
-
-Status SaveArtifacts(const PipelineArtifacts& artifacts,
-                     const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
-
-  std::string manifest;
-  manifest += "grgad_artifacts_version " + std::to_string(kFormatVersion);
-  manifest += "\nseed " + std::to_string(artifacts.seed);
-  manifest += "\nnum_anchors " + std::to_string(artifacts.anchors.size());
-  manifest +=
-      "\nnum_groups " + std::to_string(artifacts.candidate_groups.size());
-  manifest += "\nembedding_dim " +
-              std::to_string(artifacts.group_embeddings.cols()) + "\n";
-  GRGAD_RETURN_IF_ERROR(WriteFile(PathIn(dir, kManifestFile), manifest));
-
-  GRGAD_RETURN_IF_ERROR(WriteFile(PathIn(dir, "anchors.txt"),
-                                  JoinInts(artifacts.anchors) + "\n"));
-  GRGAD_RETURN_IF_ERROR(
-      SaveGroupLines(artifacts.candidate_groups, PathIn(dir, "groups.txt")));
-  GRGAD_RETURN_IF_ERROR(
-      SaveMatrix(artifacts.group_embeddings, PathIn(dir, "embeddings.txt")));
-  GRGAD_RETURN_IF_ERROR(
-      SaveDoubles(artifacts.group_scores, PathIn(dir, "scores.txt")));
-  // Scored groups are stored on their own (not rebuilt from groups+scores):
-  // partial runs legitimately have scored_groups without group_scores.
+std::string SerializeScoredGroups(const std::vector<ScoredGroup>& groups) {
   std::string scored;
-  scored += std::to_string(artifacts.scored_groups.size());
+  scored += std::to_string(groups.size());
   scored += '\n';
-  for (const ScoredGroup& sg : artifacts.scored_groups) {
+  for (const ScoredGroup& sg : groups) {
     scored += FormatExact(sg.score);
     for (int v : sg.nodes) {
       scored += ' ';
@@ -221,112 +228,392 @@ Status SaveArtifacts(const PipelineArtifacts& artifacts,
     }
     scored += '\n';
   }
-  GRGAD_RETURN_IF_ERROR(WriteFile(PathIn(dir, "scored_groups.txt"), scored));
-  GRGAD_RETURN_IF_ERROR(SaveDoubles(artifacts.gae_node_errors,
-                                    PathIn(dir, "node_errors.txt")));
-  GRGAD_RETURN_IF_ERROR(SaveDoubles(artifacts.tpgcl_loss_history,
-                                    PathIn(dir, "tpgcl_loss.txt")));
+  return scored;
+}
+
+Result<std::vector<ScoredGroup>> ParseScoredGroups(const std::string& content,
+                                                   const std::string& path) {
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing count line in " + path);
+  }
+  auto count_line = ParseInts(line, path);
+  if (!count_line.ok()) return count_line.status();
+  if (count_line.value().size() != 1 || count_line.value()[0] < 0) {
+    return Status::InvalidArgument("bad count line in " + path);
+  }
+  const int count = count_line.value()[0];
+  std::vector<ScoredGroup> out;
+  for (int i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated scored-group file " + path);
+    }
+    std::istringstream row(line);
+    ScoredGroup sg;
+    std::string score_token;
+    if (!(row >> score_token)) {
+      return Status::InvalidArgument("empty scored-group row in " + path);
+    }
+    char* end = nullptr;
+    sg.score = std::strtod(score_token.c_str(), &end);
+    if (end == score_token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad score '" + score_token + "' in " +
+                                     path);
+    }
+    int v;
+    while (row >> v) sg.nodes.push_back(v);
+    out.push_back(std::move(sg));
+  }
+  return out;
+}
+
+std::string PathIn(const std::string& dir, const char* file) {
+  return (std::filesystem::path(dir) / file).string();
+}
+
+/// The artifact payload files, serialized, in manifest order.
+std::vector<std::pair<std::string, std::string>> SerializeFiles(
+    const PipelineArtifacts& artifacts) {
+  std::vector<std::pair<std::string, std::string>> files;
+  files.emplace_back("anchors.txt", JoinInts(artifacts.anchors) + "\n");
+  files.emplace_back("groups.txt",
+                     SerializeGroupLines(artifacts.candidate_groups));
+  files.emplace_back("embeddings.txt",
+                     SerializeMatrix(artifacts.group_embeddings));
+  files.emplace_back("scores.txt", SerializeDoubles(artifacts.group_scores));
+  // Scored groups are stored on their own (not rebuilt from groups+scores):
+  // partial runs legitimately have scored_groups without group_scores.
+  files.emplace_back("scored_groups.txt",
+                     SerializeScoredGroups(artifacts.scored_groups));
+  files.emplace_back("node_errors.txt",
+                     SerializeDoubles(artifacts.gae_node_errors));
+  files.emplace_back("tpgcl_loss.txt",
+                     SerializeDoubles(artifacts.tpgcl_loss_history));
+  return files;
+}
+
+struct ManifestInfo {
+  int version = -1;
+  uint64_t seed = 42;
+  /// Element counts + dims declared at save time (num_anchors, num_groups,
+  /// embedding_rows, embedding_dim, ...). Load cross-checks the parsed
+  /// fields against whichever keys are present.
+  std::map<std::string, long long> counts;
+  struct FileEntry {
+    std::string name;
+    uint64_t bytes = 0;
+    uint64_t checksum = 0;
+  };
+  std::vector<FileEntry> files;  ///< v2 only (empty for v1).
+};
+
+Result<ManifestInfo> ParseManifest(const std::string& content,
+                                   const std::string& path) {
+  ManifestInfo m;
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty manifest " + path);
+  }
+  {
+    std::istringstream header(line);
+    std::string key;
+    if (!(header >> key >> m.version) || key != "grgad_artifacts_version") {
+      return Status::InvalidArgument("malformed manifest " + path);
+    }
+  }
+  if (m.version != kFormatVersion && m.version != kLegacyVersion) {
+    return Status::InvalidArgument("unsupported artifact version " +
+                                   std::to_string(m.version) + " in " + path);
+  }
+  while (std::getline(in, line)) {
+    std::istringstream row(line);
+    std::string key;
+    if (!(row >> key)) continue;  // Blank line.
+    if (key == "seed") {
+      std::string value;
+      if (!(row >> value) || !ParseUint64Text(value, &m.seed)) {
+        return Status::InvalidArgument("bad seed in " + path);
+      }
+    } else if (key == "file") {
+      ManifestInfo::FileEntry entry;
+      std::string bytes_token, sum_token;
+      if (!(row >> entry.name >> bytes_token >> sum_token)) {
+        return Status::InvalidArgument("malformed file entry '" + line +
+                                       "' in " + path);
+      }
+      if (!ParseUint64Text(bytes_token, &entry.bytes)) {
+        return Status::InvalidArgument("bad file size '" + bytes_token +
+                                       "' in " + path);
+      }
+      errno = 0;
+      char* end = nullptr;
+      entry.checksum = std::strtoull(sum_token.c_str(), &end, 16);
+      if (end == sum_token.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("bad checksum '" + sum_token + "' in " +
+                                       path);
+      }
+      m.files.push_back(std::move(entry));
+    } else {
+      long long value = 0;
+      if (row >> value) m.counts[key] = value;
+      // Unknown non-numeric entries are informational; skip them.
+    }
+  }
+  return m;
+}
+
+/// Cross-check of one parsed field's element count against the manifest's
+/// declared count (skipped when the save predates the key).
+Status CheckCount(const ManifestInfo& m, const std::string& key,
+                  long long actual, const std::string& path) {
+  auto it = m.counts.find(key);
+  if (it == m.counts.end() || it->second == actual) return Status::Ok();
+  return Status::DataLoss(path + ": manifest declares " + key + "=" +
+                          std::to_string(it->second) + " but file has " +
+                          std::to_string(actual));
+}
+
+}  // namespace
+
+Status SaveArtifacts(const PipelineArtifacts& artifacts,
+                     const std::string& dir) {
+  namespace fs = std::filesystem;
+  // Serialize everything up front so the commit window holds no compute.
+  const auto files = SerializeFiles(artifacts);
+  std::string manifest;
+  manifest += "grgad_artifacts_version " + std::to_string(kFormatVersion);
+  manifest += "\nseed " + std::to_string(artifacts.seed);
+  manifest += "\nnum_anchors " + std::to_string(artifacts.anchors.size());
+  manifest +=
+      "\nnum_groups " + std::to_string(artifacts.candidate_groups.size());
+  manifest += "\nembedding_rows " +
+              std::to_string(artifacts.group_embeddings.rows());
+  manifest += "\nembedding_dim " +
+              std::to_string(artifacts.group_embeddings.cols());
+  manifest += "\nnum_scores " + std::to_string(artifacts.group_scores.size());
+  manifest +=
+      "\nnum_scored_groups " + std::to_string(artifacts.scored_groups.size());
+  manifest +=
+      "\nnum_node_errors " + std::to_string(artifacts.gae_node_errors.size());
+  manifest +=
+      "\nnum_loss " + std::to_string(artifacts.tpgcl_loss_history.size());
+  manifest += '\n';
+  for (const auto& [name, content] : files) {
+    manifest += "file " + name + " " + std::to_string(content.size()) + " " +
+                HexU64(Fnv1a64(content)) + "\n";
+  }
+
+  // Atomic replace: stage everything in a sibling tmp dir, make it durable,
+  // then commit with renames. A crash or injected fault at any point leaves
+  // either the previous artifacts or (mid-dance) no directory — never a
+  // torn mixture that parses.
+  const fs::path target(dir);
+  const fs::path tmp(dir + ".tmp");
+  const fs::path old(dir + ".old");
+  std::error_code ec;
+  fs::remove_all(tmp, ec);  // Stale leftovers from a crashed save.
+  fs::remove_all(old, ec);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+  }
+  ec.clear();
+  fs::create_directories(tmp, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + tmp.string() + ": " +
+                           ec.message());
+  }
+  const Status staged = [&]() -> Status {
+    GRGAD_RETURN_IF_ERROR(WriteFile((tmp / kManifestFile).string(), manifest));
+    for (const auto& [name, content] : files) {
+      GRGAD_RETURN_IF_ERROR(WriteFile((tmp / name).string(), content));
+    }
+    GRGAD_RETURN_IF_ERROR(
+        FsyncPath((tmp / kManifestFile).string(), /*is_dir=*/false));
+    for (const auto& [name, content] : files) {
+      GRGAD_RETURN_IF_ERROR(FsyncPath((tmp / name).string(),
+                                      /*is_dir=*/false));
+    }
+    return FsyncPath(tmp.string(), /*is_dir=*/true);
+  }();
+  if (!staged.ok()) {
+    fs::remove_all(tmp, ec);
+    return staged;
+  }
+
+  // Commit. rename(2) cannot replace a non-empty directory, hence the
+  // dance: move the old artifacts aside, move the staged dir in, drop the
+  // old copy. A real rename failure restores the old directory; a hard
+  // crash between the two renames leaves the target absent (NotFound on
+  // load — never loadable-but-corrupt).
+  if (Status fault = FaultInjector::Global().Check("artifact/rename");
+      !fault.ok()) {
+    fs::remove_all(tmp, ec);
+    return fault;
+  }
+  const bool had_target = fs::exists(target);
+  if (had_target) {
+    fs::rename(target, old, ec);
+    if (ec) {
+      std::error_code cleanup;
+      fs::remove_all(tmp, cleanup);
+      return Status::IoError("cannot move aside " + target.string() + ": " +
+                             ec.message());
+    }
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code restore;
+    if (had_target) fs::rename(old, target, restore);
+    fs::remove_all(tmp, restore);
+    return Status::IoError("cannot commit " + tmp.string() + " -> " +
+                           target.string() + ": " + ec.message());
+  }
+  if (had_target) fs::remove_all(old, ec);
+  // Durability of the renames themselves: fsync the parent directory.
+  // Best-effort — the commit already happened, so a failure here must not
+  // report the save as failed (callers would wrongly trust the OLD data).
+  {
+    const fs::path parent =
+        target.has_parent_path() ? target.parent_path() : fs::path(".");
+    const int fd = ::open(parent.string().c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
   return Status::Ok();
 }
 
 Result<PipelineArtifacts> LoadArtifacts(const std::string& dir) {
+  namespace fs = std::filesystem;
   const std::string manifest_path = PathIn(dir, kManifestFile);
-  if (!std::filesystem::exists(manifest_path)) {
+  if (!fs::exists(manifest_path)) {
     return Status::NotFound("no artifact manifest at " + manifest_path);
   }
-  auto manifest = ReadFile(manifest_path);
+  auto manifest_content = ReadFile(manifest_path);
+  if (!manifest_content.ok()) return manifest_content.status();
+  auto manifest = ParseManifest(manifest_content.value(), manifest_path);
   if (!manifest.ok()) return manifest.status();
-  PipelineArtifacts artifacts;
-  {
-    std::istringstream in(manifest.value());
-    std::string key;
-    int version = -1;
-    if (!(in >> key >> version) || key != "grgad_artifacts_version") {
-      return Status::InvalidArgument("malformed manifest " + manifest_path);
+  const ManifestInfo& m = manifest.value();
+
+  // Integrity sweep before any parsing: every manifest-listed file must be
+  // present, exactly its recorded size, and checksum-clean. Each file is
+  // read once here and parsed from memory below. v1 directories predate
+  // the checksums and skip straight to parsing.
+  std::map<std::string, std::string> contents;
+  for (const auto& entry : m.files) {
+    const std::string path = PathIn(dir, entry.name.c_str());
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+      return Status::DataLoss("missing artifact file " + path);
     }
-    if (version != kFormatVersion) {
-      return Status::InvalidArgument(
-          "unsupported artifact version " + std::to_string(version) + " in " +
-          manifest_path);
-    }
-    std::string value;
-    while (in >> key >> value) {
-      if (key == "seed") {
-        if (!ParseUint64Text(value, &artifacts.seed)) {
-          return Status::InvalidArgument("bad seed '" + value + "' in " +
-                                         manifest_path);
-        }
-      }
-      // Remaining manifest entries (counts, dims) are informational.
-    }
-  }
-  {
-    auto content = ReadFile(PathIn(dir, "anchors.txt"));
+    auto content = ReadFile(path);
     if (!content.ok()) return content.status();
-    auto anchors = ParseInts(content.value(), PathIn(dir, "anchors.txt"));
+    if (content.value().size() != entry.bytes) {
+      return Status::DataLoss(
+          "truncated artifact file " + path + ": manifest records " +
+          std::to_string(entry.bytes) + " bytes, found " +
+          std::to_string(content.value().size()));
+    }
+    if (Fnv1a64(content.value()) != entry.checksum) {
+      return Status::DataLoss("checksum mismatch in " + path +
+                              " (corrupt artifact)");
+    }
+    contents[entry.name] = std::move(content).value();
+  }
+  const auto get = [&](const char* name) -> Result<std::string> {
+    if (m.version == kLegacyVersion) return ReadFile(PathIn(dir, name));
+    auto it = contents.find(name);
+    if (it == contents.end()) {
+      return Status::DataLoss("manifest " + manifest_path +
+                              " has no file entry for " + name);
+    }
+    return it->second;
+  };
+
+  PipelineArtifacts artifacts;
+  artifacts.seed = m.seed;
+  {
+    const std::string path = PathIn(dir, "anchors.txt");
+    auto content = get("anchors.txt");
+    if (!content.ok()) return content.status();
+    auto anchors = ParseInts(content.value(), path);
     if (!anchors.ok()) return anchors.status();
     artifacts.anchors = std::move(anchors).value();
+    GRGAD_RETURN_IF_ERROR(CheckCount(
+        m, "num_anchors", static_cast<long long>(artifacts.anchors.size()),
+        path));
   }
   {
-    auto groups = LoadGroupLines(PathIn(dir, "groups.txt"));
+    const std::string path = PathIn(dir, "groups.txt");
+    auto content = get("groups.txt");
+    if (!content.ok()) return content.status();
+    auto groups = ParseGroupLines(content.value(), path);
     if (!groups.ok()) return groups.status();
     artifacts.candidate_groups = std::move(groups).value();
+    GRGAD_RETURN_IF_ERROR(CheckCount(
+        m, "num_groups",
+        static_cast<long long>(artifacts.candidate_groups.size()), path));
   }
   {
-    auto m = LoadMatrix(PathIn(dir, "embeddings.txt"));
-    if (!m.ok()) return m.status();
-    artifacts.group_embeddings = std::move(m).value();
+    const std::string path = PathIn(dir, "embeddings.txt");
+    auto content = get("embeddings.txt");
+    if (!content.ok()) return content.status();
+    auto matrix = ParseMatrix(content.value(), path);
+    if (!matrix.ok()) return matrix.status();
+    artifacts.group_embeddings = std::move(matrix).value();
+    GRGAD_RETURN_IF_ERROR(CheckCount(
+        m, "embedding_rows",
+        static_cast<long long>(artifacts.group_embeddings.rows()), path));
+    GRGAD_RETURN_IF_ERROR(CheckCount(
+        m, "embedding_dim",
+        static_cast<long long>(artifacts.group_embeddings.cols()), path));
   }
   {
-    auto scores = LoadDoubles(PathIn(dir, "scores.txt"));
+    const std::string path = PathIn(dir, "scores.txt");
+    auto content = get("scores.txt");
+    if (!content.ok()) return content.status();
+    auto scores = ParseDoubles(content.value(), path);
     if (!scores.ok()) return scores.status();
     artifacts.group_scores = std::move(scores).value();
+    GRGAD_RETURN_IF_ERROR(CheckCount(
+        m, "num_scores",
+        static_cast<long long>(artifacts.group_scores.size()), path));
   }
   {
     const std::string path = PathIn(dir, "scored_groups.txt");
-    auto content = ReadFile(path);
+    auto content = get("scored_groups.txt");
     if (!content.ok()) return content.status();
-    std::istringstream in(content.value());
-    std::string line;
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("missing count line in " + path);
-    }
-    auto count_line = ParseInts(line, path);
-    if (!count_line.ok()) return count_line.status();
-    if (count_line.value().size() != 1 || count_line.value()[0] < 0) {
-      return Status::InvalidArgument("bad count line in " + path);
-    }
-    const int count = count_line.value()[0];
-    for (int i = 0; i < count; ++i) {
-      if (!std::getline(in, line)) {
-        return Status::InvalidArgument("truncated scored-group file " + path);
-      }
-      std::istringstream row(line);
-      ScoredGroup sg;
-      std::string score_token;
-      if (!(row >> score_token)) {
-        return Status::InvalidArgument("empty scored-group row in " + path);
-      }
-      char* end = nullptr;
-      sg.score = std::strtod(score_token.c_str(), &end);
-      if (end == score_token.c_str() || *end != '\0') {
-        return Status::InvalidArgument("bad score '" + score_token + "' in " +
-                                       path);
-      }
-      int v;
-      while (row >> v) sg.nodes.push_back(v);
-      artifacts.scored_groups.push_back(std::move(sg));
-    }
+    auto scored = ParseScoredGroups(content.value(), path);
+    if (!scored.ok()) return scored.status();
+    artifacts.scored_groups = std::move(scored).value();
+    GRGAD_RETURN_IF_ERROR(CheckCount(
+        m, "num_scored_groups",
+        static_cast<long long>(artifacts.scored_groups.size()), path));
   }
   {
-    auto errors = LoadDoubles(PathIn(dir, "node_errors.txt"));
+    const std::string path = PathIn(dir, "node_errors.txt");
+    auto content = get("node_errors.txt");
+    if (!content.ok()) return content.status();
+    auto errors = ParseDoubles(content.value(), path);
     if (!errors.ok()) return errors.status();
     artifacts.gae_node_errors = std::move(errors).value();
+    GRGAD_RETURN_IF_ERROR(CheckCount(
+        m, "num_node_errors",
+        static_cast<long long>(artifacts.gae_node_errors.size()), path));
   }
   {
-    auto loss = LoadDoubles(PathIn(dir, "tpgcl_loss.txt"));
+    const std::string path = PathIn(dir, "tpgcl_loss.txt");
+    auto content = get("tpgcl_loss.txt");
+    if (!content.ok()) return content.status();
+    auto loss = ParseDoubles(content.value(), path);
     if (!loss.ok()) return loss.status();
     artifacts.tpgcl_loss_history = std::move(loss).value();
+    GRGAD_RETURN_IF_ERROR(CheckCount(
+        m, "num_loss",
+        static_cast<long long>(artifacts.tpgcl_loss_history.size()), path));
   }
   return artifacts;
 }

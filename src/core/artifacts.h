@@ -33,14 +33,20 @@ struct PipelineArtifacts {
   std::vector<double> tpgcl_loss_history;
 };
 
-/// Writes `artifacts` under `dir` (created if missing): a manifest plus one
-/// file per field. Existing artifact files in `dir` are overwritten.
+/// Writes `artifacts` under `dir` atomically: everything is staged in a
+/// sibling `<dir>.tmp`, fsynced, then committed by rename, replacing any
+/// previous artifacts. On ANY failure the previous contents of `dir` are
+/// left intact (a hard crash between the commit renames can leave `dir`
+/// absent — NotFound on load, never a torn mixture). The manifest records
+/// per-file sizes and FNV-1a checksums so Load can verify integrity.
 Status SaveArtifacts(const PipelineArtifacts& artifacts,
                      const std::string& dir);
 
 /// Loads a directory written by SaveArtifacts. Fails with NotFound when no
-/// manifest is present and IoError/InvalidArgument on malformed files. The
-/// result compares field-for-field identical to what was saved.
+/// manifest is present, DataLoss when a file is missing, truncated,
+/// checksum-corrupt, or disagrees with the manifest's recorded counts/dims
+/// (v2 directories), and IoError/InvalidArgument on unreadable or malformed
+/// files. The result compares field-for-field identical to what was saved.
 Result<PipelineArtifacts> LoadArtifacts(const std::string& dir);
 
 }  // namespace grgad

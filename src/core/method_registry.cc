@@ -30,6 +30,7 @@ void BindGaeOptions(const std::string& prefix, GaeOptions* o, OptionMap* map) {
   map->Add(prefix + "max_pairs", &o->max_pairs);
   map->Add(prefix + "power_row_cap", &o->power_row_cap);
   map->Add(prefix + "graphsnn_lambda", &o->graphsnn_lambda);
+  map->Add(prefix + "arena_byte_budget", &o->arena_byte_budget);
   map->Add(prefix + "seed", &o->seed);
   map->Add(prefix + "target", [key = prefix + "target", o](
                                   const std::string& value) {
@@ -133,6 +134,7 @@ void BindTpGrGadOptions(TpGrGadOptions* o, OptionMap* map) {
   map->Add("tpgcl.epochs", &o->tpgcl.epochs);
   map->Add("tpgcl.lr", &o->tpgcl.lr);
   map->Add("tpgcl.neg_per_sample", &o->tpgcl.neg_per_sample);
+  map->Add("tpgcl.arena_byte_budget", &o->tpgcl.arena_byte_budget);
   map->Add("tpgcl.seed", &o->tpgcl.seed);
   BindAugmentation("tpgcl.positive_aug", &o->tpgcl.positive_aug, map);
   BindAugmentation("tpgcl.negative_aug", &o->tpgcl.negative_aug, map);

@@ -49,6 +49,16 @@ class RunContext {
   void RequestCancel() { cancel_.RequestCancel(); }
   bool cancelled() const { return cancel_.cancelled(); }
 
+  /// Arms a monotonic deadline `seconds` from now on the run's token. The
+  /// deadline is polled at exactly the cancellation poll points (training
+  /// epochs, anchor chunks, detector fits, stage boundaries); past it the
+  /// run unwinds with StatusCode::kDeadlineExceeded.
+  void SetDeadlineAfter(double seconds) { cancel_.SetDeadlineAfter(seconds); }
+
+  /// Why the run stopped (kNone while still running): explicit cancel,
+  /// deadline expiry, or a resource governor (arena byte budget).
+  StopReason stop_reason() const { return cancel_.stop_reason(); }
+
   /// Optional observer, invoked synchronously on the driving thread.
   std::function<void(const StageEvent&)> on_progress;
 

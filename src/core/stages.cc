@@ -3,19 +3,40 @@
 #include <utility>
 
 #include "src/od/neighbor_index.h"
+#include "src/util/fault.h"
 #include "src/util/logging.h"
 
 namespace grgad {
 namespace {
 
-/// Status for a run interrupted during `stage`.
-Status CancelledIn(const char* stage) {
-  return Status::Cancelled(std::string("run cancelled during ") + stage +
-                           " stage");
+/// True when the run's stop token has fired (cancel, deadline, or budget).
+bool Stopped(const RunContext* ctx) {
+  return ctx != nullptr && ctx->cancelled();
 }
 
-bool Cancelled(const RunContext* ctx) {
-  return ctx != nullptr && ctx->cancelled();
+/// Status for a run stopped during `stage`, typed by why it stopped:
+/// SIGINT/SIGTERM -> kCancelled, --timeout -> kDeadlineExceeded, arena
+/// budget -> kResourceExhausted.
+Status StopStatusIn(const RunContext* ctx, const char* stage) {
+  const StopReason reason =
+      ctx != nullptr ? ctx->stop_reason() : StopReason::kCancelled;
+  switch (reason) {
+    case StopReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded(
+          std::string("deadline exceeded during ") + stage + " stage");
+    case StopReason::kResourceExhausted:
+      return Status::ResourceExhausted(
+          std::string("resource budget exhausted during ") + stage +
+          " stage");
+    default:
+      return Status::Cancelled(std::string("run cancelled during ") + stage +
+                               " stage");
+  }
+}
+
+/// Injected stage-boundary fault (no-op unless GRGAD_FAULTS / --inject).
+Status StageFault(const char* point) {
+  return FaultInjector::Global().Check(point, StatusCode::kInternal);
 }
 
 }  // namespace
@@ -38,13 +59,14 @@ Result<AnchorStageOutput> RunAnchorStage(const Graph& g,
     // GAE training needs structure pairs to reconstruct.
     return Status::InvalidArgument("anchor stage: graph has no edges");
   }
-  if (Cancelled(ctx)) return CancelledIn("anchor");
+  if (Stopped(ctx)) return StopStatusIn(ctx, "anchor");
+  if (Status fault = StageFault("stage/anchors"); !fault.ok()) return fault;
   StageScope scope(ctx, "anchors");
   MhGaeOptions mh_options = options.mh_gae;
   if (ctx != nullptr) mh_options.base.cancel = ctx->cancel_token();
   MhGae mh_gae(mh_options);
   MhGaeResult gae = mh_gae.FitAnchors(g);
-  if (Cancelled(ctx)) return CancelledIn("anchor");
+  if (Stopped(ctx)) return StopStatusIn(ctx, "anchor");
   AnchorStageOutput out;
   out.anchors = std::move(gae.anchors);
   out.node_errors = std::move(gae.gae.node_errors);
@@ -57,9 +79,12 @@ Result<CandidateStageOutput> RunCandidateStage(const Graph& g,
                                                const std::vector<int>& anchors,
                                                const TpGrGadOptions& options,
                                                RunContext* ctx) {
-  if (Cancelled(ctx)) return CancelledIn("sampling");
+  if (Stopped(ctx)) return StopStatusIn(ctx, "sampling");
+  if (Status fault = StageFault("stage/sampling"); !fault.ok()) return fault;
   StageScope scope(ctx, "sampling");
-  GroupSampler sampler(options.sampler);
+  GroupSamplerOptions sampler_options = options.sampler;
+  if (ctx != nullptr) sampler_options.cancel = ctx->cancel_token();
+  GroupSampler sampler(sampler_options);
   CandidateStageOutput out;
   // With profile telemetry on, the sampler clocks its three phases and they
   // land alongside the top-level "sampling" timing (scoring-style
@@ -73,7 +98,7 @@ Result<CandidateStageOutput> RunCandidateStage(const Graph& g,
     ctx->RecordSubStage("candidates/components", telemetry.components_seconds);
     ctx->RecordSubStage("candidates/select", telemetry.select_seconds);
   }
-  if (Cancelled(ctx)) return CancelledIn("sampling");
+  if (Stopped(ctx)) return StopStatusIn(ctx, "sampling");
   GRGAD_LOG(kDebug) << "pipeline: " << out.groups.size()
                     << " candidate groups";
   return out;
@@ -90,7 +115,8 @@ Result<EmbeddingStageOutput> RunEmbeddingStage(
   if (!g.has_attributes()) {
     return Status::InvalidArgument("embedding stage: graph has no attributes");
   }
-  if (Cancelled(ctx)) return CancelledIn("embedding");
+  if (Stopped(ctx)) return StopStatusIn(ctx, "embedding");
+  if (Status fault = StageFault("stage/embedding"); !fault.ok()) return fault;
   StageScope scope(ctx, "embedding");
   EmbeddingStageOutput out;
   if (options.disable_tpgcl) {
@@ -113,7 +139,7 @@ Result<EmbeddingStageOutput> RunEmbeddingStage(
     if (ctx != nullptr) tpgcl_options.cancel = ctx->cancel_token();
     Tpgcl tpgcl(tpgcl_options);
     TpgclResult result = tpgcl.FitEmbed(g, groups);
-    if (Cancelled(ctx)) return CancelledIn("embedding");
+    if (Stopped(ctx)) return StopStatusIn(ctx, "embedding");
     out.embeddings = std::move(result.embeddings);
     out.loss_history = std::move(result.loss_history);
   }
@@ -131,12 +157,14 @@ Result<ScoringStageOutput> RunScoringStage(
   if (embeddings.rows() == 0) {
     return Status::FailedPrecondition("scoring stage: nothing to score");
   }
-  if (Cancelled(ctx)) return CancelledIn("scoring");
+  if (Stopped(ctx)) return StopStatusIn(ctx, "scoring");
+  if (Status fault = StageFault("stage/scoring"); !fault.ok()) return fault;
   StageScope scope(ctx, "scoring");
   auto detector = MakeOutlierDetector(options.detector, options.seed ^ 0x3);
   if (detector == nullptr) {
     return Status::Internal("scoring stage: unknown detector kind");
   }
+  if (ctx != nullptr) detector->SetStopToken(ctx->cancel_token());
   ScoringStageOutput out;
   // Neighbor-based detectors (kNN / LOF / the ensemble) all consume the
   // same k-NN structure; build it once here and share it. Sub-stage scopes
@@ -155,6 +183,28 @@ Result<ScoringStageOutput> RunScoringStage(
   } else {
     StageScope detect_scope(profile_ctx, "scoring/detect");
     out.scores = detector->FitScore(embeddings);
+  }
+  if (Stopped(ctx)) return StopStatusIn(ctx, "scoring");
+  // Ensemble degradation surface: keep the per-member outcomes, and treat
+  // a fully-failed ensemble as a stage error (the all-zero scores it
+  // returns carry no ranking signal).
+  if (auto* ensemble = dynamic_cast<EnsembleDetector*>(detector.get())) {
+    out.member_statuses = ensemble->member_statuses();
+    if (ensemble->survivors() == 0) {
+      std::string detail;
+      for (const auto& ms : out.member_statuses) {
+        if (!detail.empty()) detail += "; ";
+        detail += ms.name + ": " + ms.status.ToString();
+      }
+      return Status::Internal(
+          "scoring stage: every ensemble member failed (" + detail + ")");
+    }
+    for (const auto& ms : out.member_statuses) {
+      if (!ms.status.ok()) {
+        GRGAD_LOG(kWarning) << "scoring: ensemble member " << ms.name
+                            << " dropped: " << ms.status.ToString();
+      }
+    }
   }
   out.scored_groups.reserve(groups.size());
   for (size_t i = 0; i < groups.size(); ++i) {

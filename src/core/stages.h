@@ -23,6 +23,7 @@
 #include "src/gae/mh_gae.h"
 #include "src/gcl/tpgcl.h"
 #include "src/od/detector.h"
+#include "src/od/ensemble.h"
 #include "src/sampling/group_sampler.h"
 #include "src/util/status.h"
 
@@ -68,6 +69,10 @@ struct EmbeddingStageOutput {
 struct ScoringStageOutput {
   std::vector<double> scores;         ///< Aligned to the input groups.
   std::vector<ScoredGroup> scored_groups;
+  /// Per-member outcomes when options.detector is the ensemble (empty
+  /// otherwise). A failed member is dropped and the scores average over the
+  /// survivors; all members failing is a stage error, not a zero score.
+  std::vector<EnsembleMemberStatus> member_statuses;
 };
 
 /// Trains MH-GAE on `g` and selects anchor nodes. InvalidArgument when the

@@ -5,6 +5,7 @@
 #include "src/data/ethereum.h"
 #include "src/data/example_graph.h"
 #include "src/data/simml.h"
+#include "src/util/fault.h"
 
 namespace grgad {
 
@@ -15,6 +16,9 @@ std::vector<std::string> ListDatasets() {
 
 Result<Dataset> MakeDataset(const std::string& name,
                             const DatasetOptions& options) {
+  // Fault point for exercising the CLI's retry wrapper: a retryable
+  // kIoError, as a flaky on-disk loader would return.
+  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("dataset/load"));
   if (name == "simml") return GenSimMl(options);
   if (name == "cora-group") {
     return GenCitationGroup(CitationProfile::kCora, options);

@@ -155,6 +155,12 @@ GaeResult GcnGae::Fit(const Graph& g) const {
                        : TrainingFastPathEnabled() ? &local_arena
                                                    : nullptr;
   ArenaScope arena_scope(arena);
+  if (arena != nullptr) {
+    if (options_.arena_byte_budget > 0) {
+      arena->SetByteBudget(options_.arena_byte_budget);
+    }
+    arena->SetStopToken(options_.cancel);
+  }
 
   const auto a_norm = NormalizedAdjacency(g);
   const SparseMatrix target = BuildTarget(g, options_);
@@ -191,7 +197,7 @@ GaeResult GcnGae::Fit(const Graph& g) const {
   Matrix final_x_hat;
   Matrix final_pred;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    if (options_.cancel.cancelled()) return result;
+    if (options_.cancel.stop_requested()) return result;
     adam.ZeroGrad();
     Var h = Relu(enc1.Forward(a_norm, x));
     Var z = enc2.Forward(a_norm, h);

@@ -62,11 +62,17 @@ struct GaeOptions {
   /// λ exponent of the GraphSNN weights (Eqn. 4).
   double graphsnn_lambda = 1.0;
   uint64_t seed = 1;
-  /// Cooperative cancellation, polled once per epoch. When it fires, Fit()
-  /// abandons training and returns a partial GaeResult (loss_history only);
-  /// callers that handed out the token must check it before consuming the
+  /// Cooperative stop token (cancellation, deadline, resource budget),
+  /// polled once per epoch. When it fires, Fit() abandons training and
+  /// returns a partial GaeResult (loss_history only); callers that handed
+  /// out the token must check its stop_reason() before consuming the
   /// result.
   CancelToken cancel;
+  /// Soft byte budget for the training arena (0 = unlimited). On breach the
+  /// arena fires `cancel` with StopReason::kResourceExhausted and the epoch
+  /// loop unwinds cleanly — see MatrixArena::SetByteBudget. Only effective
+  /// when an arena backs the fit (the training fast path, i.e. the default).
+  uint64_t arena_byte_budget = 0;
   /// Optional caller-owned buffer arena (must outlive Fit). When null and
   /// the training fast path is on, Fit installs a run-local arena; either
   /// way steady-state epochs reuse buffers instead of reallocating them.

@@ -163,6 +163,12 @@ TpgclResult Tpgcl::FitEmbed(
                        : TrainingFastPathEnabled() ? &local_arena
                                                    : nullptr;
   ArenaScope arena_scope(arena);
+  if (arena != nullptr) {
+    if (options_.arena_byte_budget > 0) {
+      arena->SetByteBudget(options_.arena_byte_budget);
+    }
+    arena->SetStopToken(options_.cancel);
+  }
 
   // --- Views: pattern search + one PPA and one PBA view per group. On the
   // candidate fast path a single retargeted SubgraphView replaces the
@@ -227,7 +233,7 @@ TpgclResult Tpgcl::FitEmbed(
   TpgclResult result;
   result.loss_history.reserve(options_.epochs);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    if (options_.cancel.cancelled()) return result;
+    if (options_.cancel.stop_requested()) return result;
     adam.ZeroGrad();
     Var z_pos = encode(pos_batch);
     Var z_neg = encode(neg_batch);

@@ -40,11 +40,15 @@ struct TpgclOptions {
   AugmentationKind negative_aug = AugmentationKind::kPba;
   PatternSearchOptions pattern_options;
   uint64_t seed = 5;
-  /// Cooperative cancellation, polled once per epoch. When it fires,
-  /// FitEmbed() abandons training and returns a partial TpgclResult (empty
-  /// embeddings); callers that handed out the token must check it before
-  /// consuming the result.
+  /// Cooperative stop token (cancellation, deadline, resource budget),
+  /// polled once per epoch. When it fires, FitEmbed() abandons training and
+  /// returns a partial TpgclResult (empty embeddings); callers that handed
+  /// out the token must check its stop_reason() before consuming the
+  /// result.
   CancelToken cancel;
+  /// Soft byte budget for the training arena (0 = unlimited); see
+  /// GaeOptions::arena_byte_budget.
+  uint64_t arena_byte_budget = 0;
   /// Optional caller-owned buffer arena (must outlive FitEmbed); see
   /// GaeOptions::arena.
   MatrixArena* arena = nullptr;

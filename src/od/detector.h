@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/tensor/matrix.h"
+#include "src/util/cancel.h"
 
 namespace grgad {
 
@@ -44,6 +45,17 @@ class OutlierDetector {
                                                 const NeighborIndex&) {
     return FitScore(x);
   }
+
+  /// Installs a cooperative stop token. Detectors that honor it (currently
+  /// the ensemble, between member fits) abandon remaining work once it
+  /// fires; single-member detectors may ignore it — their fits are short.
+  void SetStopToken(const CancelToken& token) { stop_ = token; }
+
+ protected:
+  const CancelToken& stop_token() const { return stop_; }
+
+ private:
+  CancelToken stop_;
 };
 
 /// Detector ids accepted by MakeOutlierDetector. kEnsemble is the

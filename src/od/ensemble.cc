@@ -1,11 +1,13 @@
 #include "src/od/ensemble.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "src/od/ecod.h"
 #include "src/od/iforest.h"
 #include "src/od/lof.h"
 #include "src/util/check.h"
+#include "src/util/fault.h"
 
 namespace grgad {
 
@@ -58,14 +60,42 @@ int EnsembleDetector::NeighborsNeeded(int n) const {
 std::vector<double> EnsembleDetector::Combine(const Matrix& x,
                                               const NeighborIndex* index) {
   std::vector<double> combined(x.rows(), 0.0);
+  member_statuses_.clear();
+  member_statuses_.reserve(members_.size());
+  survivors_ = 0;
   for (auto& member : members_) {
-    const std::vector<double> ranks =
-        RankNormalize(index != nullptr
-                          ? member->FitScoreWithIndex(x, *index)
-                          : member->FitScore(x));
-    for (size_t i = 0; i < combined.size(); ++i) combined[i] += ranks[i];
+    // Stop poll between member fits: once the token fires the partial
+    // scores are dead anyway (the caller unwinds), so skip the rest.
+    if (stop_token().stop_requested()) {
+      member_statuses_.push_back(
+          {member->Name(), Status::Cancelled("ensemble stopped before " +
+                                             member->Name())});
+      continue;
+    }
+    Status member_status =
+        FaultInjector::Global().Check("od/ensemble-member",
+                                      StatusCode::kInternal);
+    if (member_status.ok()) {
+      try {
+        const std::vector<double> ranks =
+            RankNormalize(index != nullptr
+                              ? member->FitScoreWithIndex(x, *index)
+                              : member->FitScore(x));
+        for (size_t i = 0; i < combined.size(); ++i) combined[i] += ranks[i];
+      } catch (const std::exception& e) {
+        member_status = Status::Internal(member->Name() +
+                                         " member failed: " + e.what());
+      }
+    }
+    if (member_status.ok()) ++survivors_;
+    member_statuses_.push_back({member->Name(), std::move(member_status)});
   }
-  for (double& v : combined) v /= static_cast<double>(members_.size());
+  // Average over the survivors: with none failed this divides by
+  // members_.size() exactly as before (bitwise identical); with none
+  // surviving the zeros stay zero and the caller must check survivors().
+  if (survivors_ > 0) {
+    for (double& v : combined) v /= static_cast<double>(survivors_);
+  }
   return combined;
 }
 

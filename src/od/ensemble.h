@@ -12,12 +12,20 @@
 #define GRGAD_OD_ENSEMBLE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/od/detector.h"
 #include "src/od/neighbor_index.h"
+#include "src/util/status.h"
 
 namespace grgad {
+
+/// Outcome of one ensemble member's fit in the last FitScore call.
+struct EnsembleMemberStatus {
+  std::string name;  ///< Member's Name().
+  Status status;     ///< OkStatus, or why the member was dropped.
+};
 
 /// Averages rank-normalized scores of the given base detectors.
 class EnsembleDetector : public OutlierDetector {
@@ -38,10 +46,25 @@ class EnsembleDetector : public OutlierDetector {
 
   size_t size() const { return members_.size(); }
 
+  /// Graceful degradation: a member whose fit fails (throws, or is hit by
+  /// the `od/ensemble-member` fault point) is dropped and the average is
+  /// taken over the SURVIVORS — bitwise identical to the full ensemble when
+  /// nothing fails. Per-member outcomes of the last FitScore /
+  /// FitScoreWithIndex call, in member order:
+  const std::vector<EnsembleMemberStatus>& member_statuses() const {
+    return member_statuses_;
+  }
+  /// Members that scored successfully in the last fit. 0 means the combined
+  /// scores are all zero and must not be consumed (the scoring stage turns
+  /// that into an error).
+  size_t survivors() const { return survivors_; }
+
  private:
   std::vector<double> Combine(const Matrix& x, const NeighborIndex* index);
 
   std::vector<std::unique_ptr<OutlierDetector>> members_;
+  std::vector<EnsembleMemberStatus> member_statuses_;
+  size_t survivors_ = 0;
 };
 
 /// Maps scores to average ranks scaled into [0, 1] (ties share their mean

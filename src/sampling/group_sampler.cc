@@ -250,6 +250,10 @@ std::vector<std::vector<int>> GroupSampler::SampleFast(
     TraversalWorkspacePool::Lease bfs_ws = bfs_pool.Acquire();
     TraversalWorkspacePool::Lease alt_ws = weighted_pool.Acquire();
     for (size_t ai = begin; ai < end; ++ai) {
+      // Stop poll per anchor: a fired token (deadline, cancel) abandons the
+      // remaining chunk; the caller sees stop_requested() and discards the
+      // partial result, so skipped anchors never surface.
+      if (options_.cancel.stop_requested()) return;
       SampleAnchor(g, options_, anchors, static_cast<int>(ai), use_attr_paths,
                    slot_costs, snn_costs, bfs_ws.get(), alt_ws.get(),
                    &per_anchor[ai]);
@@ -343,6 +347,9 @@ std::vector<std::vector<int>> GroupSampler::SampleSeed(
   };
 
   for (int v : anchors) {
+    // Stop poll per anchor (see SampleFast): partial output is discarded by
+    // the caller once it observes the fired token.
+    if (options_.cancel.stop_requested()) break;
     // One BFS serves pair discovery (hop distances) for every µ; the
     // weighted parents come from a single Dijkstra per anchor.
     const BfsTree bfs = BuildBfsTree(g, v, options_.pair_radius);

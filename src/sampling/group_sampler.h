@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/util/cancel.h"
 
 namespace grgad {
 
@@ -75,6 +76,12 @@ struct GroupSamplerOptions {
   /// Extension: also emit connected components of the anchor set, bridging
   /// single non-anchor gaps between two anchors.
   bool include_anchor_components = true;
+  /// Cooperative stop token, polled once per anchor. When it fires mid-call
+  /// the sampler abandons the remaining anchors and returns early; the
+  /// partial result must not be consumed — callers that handed out the
+  /// token check stop_requested() and unwind (the pipeline maps the reason
+  /// to a typed Status).
+  CancelToken cancel;
 };
 
 /// Optional per-phase wall-time breakdown of one Sample() call, surfaced by

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "src/util/fault.h"
+
 namespace grgad {
 
 namespace {
@@ -35,6 +37,18 @@ Matrix MatrixArena::AcquireInternal(size_t rows, size_t cols,
     }
     stats_.heap_allocs++;
     stats_.heap_bytes += bytes;
+    // Budget governor: a breach (or an injected arena/alloc fault) does not
+    // fail this allocation — it fires the stop token so the training loop
+    // unwinds cleanly at its next poll instead of ever reaching real OOM.
+    const bool over_budget =
+        byte_budget_ > 0 && stats_.heap_bytes > byte_budget_;
+    if ((over_budget || FaultInjector::Global().Fires("arena/alloc")) &&
+        !budget_exhausted_) {
+      budget_exhausted_ = true;
+      if (stop_.has_value()) {
+        stop_->RequestStop(StopReason::kResourceExhausted);
+      }
+    }
   }
   return Matrix(rows, cols);  // Zero-initialized by construction.
 }
@@ -75,6 +89,27 @@ MatrixArena::Stats MatrixArena::stats() const {
 void MatrixArena::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = Stats();
+}
+
+void MatrixArena::SetByteBudget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = bytes;
+  budget_exhausted_ = false;
+}
+
+uint64_t MatrixArena::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byte_budget_;
+}
+
+void MatrixArena::SetStopToken(CancelToken token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_ = std::move(token);
+}
+
+bool MatrixArena::budget_exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_exhausted_;
 }
 
 size_t MatrixArena::free_buffers() const {

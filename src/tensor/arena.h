@@ -27,10 +27,12 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/tensor/matrix.h"
+#include "src/util/cancel.h"
 
 namespace grgad {
 
@@ -78,6 +80,25 @@ class MatrixArena {
   Stats stats() const;
   void ResetStats();
 
+  /// Arms a soft byte budget over fresh heap allocations (0 disarms). The
+  /// breaching Acquire still succeeds — the budget is a control-plane limit,
+  /// not a hard OOM — but the arena marks itself exhausted and fires the
+  /// stop token (StopReason::kResourceExhausted), so the training loop
+  /// unwinds at its next per-epoch poll through exactly the cancelled-fit
+  /// teardown path. The pipeline then reports kResourceExhausted instead of
+  /// aborting. The "arena/alloc" fault point (src/util/fault.h) triggers
+  /// the same path regardless of budget.
+  void SetByteBudget(uint64_t bytes);
+  uint64_t byte_budget() const;
+
+  /// The token fired on budget breach; typically the run's CancelToken so
+  /// existing epoch polls see the stop.
+  void SetStopToken(CancelToken token);
+
+  /// True once a fresh allocation breached the budget (or an arena/alloc
+  /// fault fired). Cleared by SetByteBudget.
+  bool budget_exhausted() const;
+
   /// Buffers currently parked on free lists.
   size_t free_buffers() const;
   /// Acquired minus released. <= 0 means every buffer this arena handed
@@ -94,6 +115,9 @@ class MatrixArena {
   // Shape key (rows << 32 | cols) -> parked buffers of that exact shape.
   std::unordered_map<uint64_t, std::vector<Matrix>> free_;
   Stats stats_;
+  uint64_t byte_budget_ = 0;  // 0 = unlimited.
+  bool budget_exhausted_ = false;
+  std::optional<CancelToken> stop_;
 };
 
 /// Installs `arena` as the calling thread's current arena for the lifetime

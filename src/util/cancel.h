@@ -1,34 +1,122 @@
-// Cooperative cancellation for long-running training / pipeline code.
+// Cooperative stop requests for long-running training / pipeline code.
 //
-// A CancelToken is a cheap shared handle to one atomic flag. The controller
-// keeps a copy and calls RequestCancel() (from any thread, including a
-// signal handler via the relaxed atomic store); workers embed a copy in
-// their options and poll cancelled() at safe points — typically once per
-// training epoch — then unwind by returning early. There is no forced
-// termination: cancellation is only as prompt as the polling granularity,
-// which is what keeps partially-written state impossible.
+// A CancelToken is a cheap shared handle to one atomic stop state. The
+// controller keeps a copy and calls RequestCancel() (from any thread,
+// including a signal handler via the relaxed atomic store) or arms a
+// monotonic deadline with SetDeadlineAfter(); workers embed a copy in their
+// options and poll stop_requested() at safe points — typically once per
+// training epoch or per anchor chunk — then unwind by returning early.
+// There is no forced termination: a stop is only as prompt as the polling
+// granularity, which is what keeps partially-written state impossible.
+//
+// A token stops for one of three reasons, so the layer that converts the
+// unwind into a Status can report the right error:
+//   kCancelled         explicit RequestCancel() (Ctrl-C, a dropped request)
+//   kDeadlineExceeded  the armed steady-clock deadline passed
+//   kResourceExhausted a resource governor fired (MatrixArena byte budget)
+// The first explicit reason wins; a deadline only reports when no explicit
+// stop was requested before it passed.
 #ifndef GRGAD_UTIL_CANCEL_H_
 #define GRGAD_UTIL_CANCEL_H_
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <memory>
 
 namespace grgad {
 
-/// Shared cancellation flag. Copies alias the same flag; default-constructed
-/// tokens are independent and start un-cancelled.
+/// Why a CancelToken is asking its pollers to unwind.
+enum class StopReason {
+  kNone = 0,
+  kCancelled = 1,
+  kDeadlineExceeded = 2,
+  kResourceExhausted = 3,
+};
+
+/// Shared stop flag + deadline. Copies alias the same state; default-
+/// constructed tokens are independent and start un-stopped.
 class CancelToken {
  public:
-  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  CancelToken() : state_(std::make_shared<State>()) {}
 
-  /// Flags every copy of this token. Safe from any thread; idempotent.
-  void RequestCancel() const { flag_->store(true, std::memory_order_relaxed); }
+  /// Flags every copy of this token with StopReason::kCancelled. Safe from
+  /// any thread and from signal handlers (one atomic CAS); idempotent.
+  void RequestCancel() const { RequestStop(StopReason::kCancelled); }
 
-  /// True once any copy has been cancelled.
-  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  /// Flags every copy with `reason`. The first non-kNone reason sticks;
+  /// later requests (and a later-passing deadline) do not overwrite it.
+  void RequestStop(StopReason reason) const {
+    if (reason == StopReason::kNone) return;
+    int expected = 0;
+    state_->reason.compare_exchange_strong(expected, static_cast<int>(reason),
+                                           std::memory_order_relaxed);
+  }
+
+  /// Arms (or re-arms) a monotonic deadline `seconds` from now. Polls of
+  /// stop_requested() past that instant report kDeadlineExceeded. Seconds
+  /// <= 0 trips immediately.
+  void SetDeadlineAfter(double seconds) const {
+    SetDeadline(std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds)));
+  }
+
+  /// Arms an absolute steady-clock deadline.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) const {
+    const int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           deadline.time_since_epoch())
+                           .count();
+    // 0 means "no deadline"; a deadline that lands exactly on tick 0 is
+    // indistinguishable but 1ns early is harmless.
+    state_->deadline_ns.store(ns == 0 ? 1 : ns, std::memory_order_relaxed);
+  }
+
+  /// Disarms the deadline (explicit stop reasons are unaffected).
+  void ClearDeadline() const {
+    state_->deadline_ns.store(0, std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return state_->deadline_ns.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// True once any copy has been stopped — explicitly or by deadline. This
+  /// is the per-epoch / per-chunk poll.
+  bool stop_requested() const {
+    if (state_->reason.load(std::memory_order_relaxed) != 0) return true;
+    return DeadlineExpired();
+  }
+
+  /// Legacy alias for stop_requested(): historical pollers only knew about
+  /// explicit cancellation, and "unwind now" is the same answer either way.
+  bool cancelled() const { return stop_requested(); }
+
+  /// The stop reason (kNone while still running). Deadline expiry reports
+  /// kDeadlineExceeded unless an explicit reason was requested first.
+  StopReason stop_reason() const {
+    const int r = state_->reason.load(std::memory_order_relaxed);
+    if (r != 0) return static_cast<StopReason>(r);
+    return DeadlineExpired() ? StopReason::kDeadlineExceeded
+                             : StopReason::kNone;
+  }
 
  private:
-  std::shared_ptr<std::atomic<bool>> flag_;
+  struct State {
+    std::atomic<int> reason{0};
+    std::atomic<int64_t> deadline_ns{0};  ///< steady_clock ns; 0 = unarmed.
+  };
+
+  bool DeadlineExpired() const {
+    const int64_t deadline = state_->deadline_ns.load(std::memory_order_relaxed);
+    if (deadline == 0) return false;
+    const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+    return now >= deadline;
+  }
+
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace grgad

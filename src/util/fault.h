@@ -1,0 +1,83 @@
+// Seeded fault injection at named points.
+//
+// The engine's fault-tolerance claims (atomic artifact saves, retries around
+// transient I/O, graceful ensemble degradation, clean unwind on allocation
+// pressure) are only claims until something actually fails. A FaultInjector
+// makes failures reproducible: each named fault point draws a deterministic
+// fail/pass decision per call from (seed, point name, per-point call count),
+// so a given spec replays the same fault pattern on every run — and a
+// stress harness can sweep seeds (tests/fault_stress_test.cc).
+//
+// Activation: the GRGAD_FAULTS environment variable (read once, lazily) or
+// `grgad run --inject=SPEC`, both using the same spec syntax:
+//
+//   GRGAD_FAULTS="seed=7,rate=0.02"                 every point at 2%
+//   GRGAD_FAULTS="seed=7,artifact/write=0.5"        one point at 50%
+//   GRGAD_FAULTS="seed=7,rate=0.01,artifact/rename=1"  global + override
+//
+// Known points (also PERF.md, "Robustness"):
+//   stage/anchors, stage/sampling, stage/embedding, stage/scoring
+//       stage-boundary faults (injected Internal error before the stage)
+//   artifact/write, artifact/read, artifact/fsync, artifact/rename
+//       artifact file I/O (injected IoError — the retryable category)
+//   dataset/load      dataset construction (injected IoError)
+//   arena/alloc       a fresh MatrixArena heap allocation is treated as a
+//                     byte-budget breach (clean kResourceExhausted unwind)
+//   parallel/dispatch ParallelFor degrades the region to the serial inline
+//                     path (results are bitwise identical by contract)
+//   od/ensemble-member  one ensemble member's fit fails (injected Internal);
+//                     the ensemble continues with the survivors
+//
+// When disabled (the default) every check is a single relaxed atomic load.
+// Configure() must not race in-flight checks: configure between runs.
+#ifndef GRGAD_UTIL_FAULT_H_
+#define GRGAD_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace grgad {
+
+class FaultInjector {
+ public:
+  /// The process-wide injector. First use reads GRGAD_FAULTS (a malformed
+  /// spec is reported to stderr once and leaves injection disabled).
+  static FaultInjector& Global();
+
+  /// (Re)configures from a spec string; "" or "off" disables. Resets all
+  /// per-point call counters and the fired/checked totals.
+  Status Configure(const std::string& spec);
+
+  /// Disables injection (counters are kept until the next Configure).
+  void Disable();
+
+  bool enabled() const;
+
+  /// True when the named point should fail on this call. Deterministic in
+  /// (seed, point, per-point call number); always false when disabled.
+  bool Fires(const char* point);
+
+  /// OK when the point does not fire; an injected `code` error naming the
+  /// point otherwise. The convenience form of Fires() for Status plumbing.
+  Status Check(const char* point, StatusCode code = StatusCode::kIoError);
+
+  /// Total decisions taken / faults fired since the last Configure or
+  /// ResetCounters. fired_count() == 0 after a run means the run saw no
+  /// injected fault and must match a fault-free run bit for bit.
+  uint64_t checked_count() const;
+  uint64_t fired_count() const;
+  void ResetCounters();
+
+  /// Every known fault-point name, for docs, spec validation, and sweeps.
+  static std::vector<std::string> KnownPoints();
+
+ private:
+  FaultInjector() = default;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_UTIL_FAULT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/fault.h"
 #include "src/util/thread_pool.h"
 
 namespace grgad {
@@ -13,7 +14,11 @@ void ParallelFor(size_t n, size_t min_grain,
   if (n == 0) return;
   if (min_grain == 0) min_grain = 1;  // A grain of 0 would divide by zero.
   const int degree = ParallelismDegree();
-  if (degree <= 1 || n < min_grain * 2 || ThreadPool::InParallelRegion()) {
+  if (degree <= 1 || n < min_grain * 2 || ThreadPool::InParallelRegion() ||
+      // Injected dispatch fault: degrade this region to the serial inline
+      // path. Kernel results are bitwise independent of the degree, so a
+      // "failed" pool only costs time, never correctness.
+      FaultInjector::Global().Fires("parallel/dispatch")) {
     body(0, n);
     return;
   }

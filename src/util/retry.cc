@@ -1,0 +1,47 @@
+#include "src/util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace grgad {
+
+double BackoffSeconds(const RetryPolicy& policy, int attempt, Rng* rng) {
+  double backoff = policy.initial_backoff_seconds;
+  for (int i = 0; i < attempt && backoff < policy.max_backoff_seconds; ++i) {
+    backoff *= policy.backoff_multiplier;
+  }
+  backoff = std::min(backoff, policy.max_backoff_seconds);
+  if (policy.jitter_fraction > 0.0 && rng != nullptr) {
+    backoff *= 1.0 + rng->Uniform(-policy.jitter_fraction,
+                                  policy.jitter_fraction);
+  }
+  return std::max(backoff, 0.0);
+}
+
+bool DefaultRetryable(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+Retryer::Retryer(RetryPolicy policy)
+    : policy_(policy),
+      rng_(policy.jitter_seed),
+      sleeper_([](double seconds) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      }),
+      retryable_(DefaultRetryable) {}
+
+Status Retryer::Run(const std::function<Status()>& op) {
+  Status status = op();
+  for (int attempt = 1;
+       attempt < policy_.max_attempts && !status.ok() && retryable_(status);
+       ++attempt) {
+    ++attempts_;
+    sleeper_(BackoffSeconds(policy_, attempt - 1, &rng_));
+    status = op();
+  }
+  ++attempts_;
+  return status;
+}
+
+}  // namespace grgad

@@ -1,0 +1,96 @@
+// Capped exponential backoff with seeded jitter for fallible I/O.
+//
+// Transient failures (a full page cache, NFS hiccups, injected faults from
+// src/util/fault.h) deserve a bounded number of retries; permanent errors
+// (corruption, bad arguments, cancellation) must surface immediately. A
+// Retryer wraps a Status- or Result-returning operation with that policy:
+//
+//   Retryer retryer(RetryPolicy{});
+//   Status s = retryer.Run([&] { return SaveArtifacts(a, dir); });
+//
+// Determinism under test: the jitter stream is drawn from an Rng seeded by
+// the policy, and the sleep itself is an injectable hook, so tests assert
+// the exact backoff sequence without sleeping (tests/robustness_test.cc).
+#ifndef GRGAD_UTIL_RETRY_H_
+#define GRGAD_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace grgad {
+
+/// Backoff/retry knobs. Attempt k (0-based) failing retryably sleeps
+/// clamp(initial * multiplier^k, max) * (1 + jitter), jitter uniform in
+/// [-jitter_fraction, +jitter_fraction).
+struct RetryPolicy {
+  int max_attempts = 3;                 ///< Total tries, including the first.
+  double initial_backoff_seconds = 0.05;
+  double max_backoff_seconds = 2.0;
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.25;
+  uint64_t jitter_seed = 0xB0FFULL;     ///< Seeds the jitter stream.
+};
+
+/// The backoff (seconds) after the `attempt`-th failure (0-based), drawing
+/// one jitter value from `rng`. Exposed for tests.
+double BackoffSeconds(const RetryPolicy& policy, int attempt, Rng* rng);
+
+/// The default transient-failure predicate: only kIoError retries. Deadline
+/// expiry, cancellation, corruption (kDataLoss), and argument errors are
+/// permanent by definition.
+bool DefaultRetryable(const Status& status);
+
+/// Runs an operation under a RetryPolicy. One Retryer = one jitter stream;
+/// construct fresh per logical operation for reproducible backoff.
+class Retryer {
+ public:
+  explicit Retryer(RetryPolicy policy);
+
+  /// Replaces the sleep hook (default: std::this_thread::sleep_for). Tests
+  /// install a collector to assert the backoff sequence.
+  void set_sleeper(std::function<void(double)> sleeper) {
+    sleeper_ = std::move(sleeper);
+  }
+  /// Replaces the transient-failure predicate (default: DefaultRetryable).
+  void set_retryable(std::function<bool(const Status&)> retryable) {
+    retryable_ = std::move(retryable);
+  }
+
+  /// Invokes `op` up to max_attempts times, sleeping between retryable
+  /// failures. Returns the first success or the last failure.
+  Status Run(const std::function<Status()>& op);
+
+  /// Result-returning flavor of Run.
+  template <typename T>
+  Result<T> RunResult(const std::function<Result<T>()>& op) {
+    Result<T> result = op();
+    for (int attempt = 1;
+         attempt < policy_.max_attempts && !result.ok() &&
+         retryable_(result.status());
+         ++attempt) {
+      ++attempts_;
+      sleeper_(BackoffSeconds(policy_, attempt - 1, &rng_));
+      result = op();
+    }
+    ++attempts_;
+    return result;
+  }
+
+  /// Total op invocations across Run/RunResult calls on this Retryer.
+  int attempts() const { return attempts_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int attempts_ = 0;
+  std::function<void(double)> sleeper_;
+  std::function<bool(const Status&)> retryable_;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_UTIL_RETRY_H_

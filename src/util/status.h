@@ -24,6 +24,9 @@ enum class StatusCode {
   kIoError = 6,
   kNotConverged = 7,
   kCancelled = 8,
+  kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
+  kDataLoss = 11,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -69,6 +72,17 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Persistent-data corruption: checksum mismatches, truncated or missing
+  /// artifact files. Never retryable — the bytes on disk are wrong.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -30,13 +30,15 @@
 #include "src/core/stages.h"
 #include "src/data/registry.h"
 #include "src/od/detector.h"
+#include "src/util/fault.h"
 #include "src/util/parallel.h"
+#include "src/util/retry.h"
 #include "src/util/timer.h"
 
 namespace grgad {
 namespace {
 
-// ---- Ctrl-C -> cooperative cancellation ------------------------------------
+// ---- SIGINT/SIGTERM -> cooperative cancellation -----------------------------
 
 // The token outlives any run; the handler only flips an atomic.
 CancelToken* GlobalCancelToken() {
@@ -44,7 +46,14 @@ CancelToken* GlobalCancelToken() {
   return &token;
 }
 
-void HandleSigint(int) { GlobalCancelToken()->RequestCancel(); }
+void HandleStopSignal(int) { GlobalCancelToken()->RequestCancel(); }
+
+/// Installs (or restores) the cooperative stop handler for both SIGINT and
+/// SIGTERM — a supervisor's TERM should unwind exactly like Ctrl-C.
+void HookStopSignals(bool install) {
+  std::signal(SIGINT, install ? HandleStopSignal : SIG_DFL);
+  std::signal(SIGTERM, install ? HandleStopSignal : SIG_DFL);
+}
 
 // ---- tiny JSON writer -------------------------------------------------------
 
@@ -107,6 +116,8 @@ struct Args {
   double scale = 1.0;
   int attr_dim = 0;
   int threads = 0;  // 0 = GRGAD_THREADS / hardware default.
+  double timeout = 0.0;  // Seconds; 0 = no deadline.
+  std::string inject;    // Fault-injection spec (same syntax as GRGAD_FAULTS).
   bool quiet = false;
   bool profile = false;
   std::vector<std::string> overrides;
@@ -188,6 +199,15 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       }
       continue;
     }
+    if (ParseFlag(argc, argv, &i, "timeout", &value)) {
+      if (!ParseDoubleText(value, &args->timeout) || args->timeout <= 0.0) {
+        *error = "--timeout: expected a positive number of seconds, got '" +
+                 value + "'";
+        return false;
+      }
+      continue;
+    }
+    if (ParseFlag(argc, argv, &i, "inject", &args->inject)) continue;
     if (std::string(argv[i]) == "--quiet") {
       args->quiet = true;
       continue;
@@ -217,13 +237,21 @@ void PrintUsage() {
       "  grgad run --dataset=NAME [--method=tp-grgad] [--detector=ecod]\n"
       "            [--seed=42] [--set key=value ...] [--out DIR]\n"
       "            [--json PATH] [--data-seed=42] [--scale=1.0]\n"
-      "            [--attr-dim=0] [--threads=N] [--quiet] [--profile]\n"
+      "            [--attr-dim=0] [--threads=N] [--timeout=SECONDS]\n"
+      "            [--inject SPEC] [--quiet] [--profile]\n"
       "      Run a method end to end; --out persists the pipeline "
       "artifacts.\n"
       "  grgad rescore --in DIR --detector=KIND [--seed=42] [--out DIR]\n"
-      "                [--json PATH] [--threads=N] [--quiet] [--profile]\n"
+      "                [--json PATH] [--threads=N] [--timeout=SECONDS]\n"
+      "                [--quiet] [--profile]\n"
       "      Re-score saved artifacts with a different detector — no "
       "re-training.\n\n"
+      "--timeout=SECONDS arms a run deadline polled at every stage\n"
+      "boundary, training epoch, and anchor chunk; an expired deadline\n"
+      "unwinds cleanly and exits with code 124 (timeout(1) convention).\n"
+      "--inject SPEC enables the deterministic fault-injection harness\n"
+      "(same syntax as the GRGAD_FAULTS environment variable, e.g.\n"
+      "'seed=7,rate=0.02' or 'seed=7,artifact/write=1.0').\n"
       "--profile adds fine-grained sub-stage wall times (e.g. the\n"
       "candidate stage's candidates/search|components|select phases, the\n"
       "scoring stage's neighbor-index build vs detector time) to the JSON\n"
@@ -231,7 +259,8 @@ void PrintUsage() {
       "--threads=N sets the worker-pool parallelism degree explicitly\n"
       "(equivalent to the GRGAD_THREADS environment variable, which it\n"
       "overrides); results are bitwise identical at any degree.\n"
-      "Ctrl-C cancels a running pipeline cooperatively (exit code 130).\n");
+      "Ctrl-C or SIGTERM cancels a running pipeline cooperatively (exit\n"
+      "code 130).\n");
 }
 
 int CmdList() {
@@ -326,9 +355,29 @@ int EmitJson(const Args& args, const std::string& json) {
   return 0;
 }
 
-int FailWith(const Status& status) {
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded: return 124;  // timeout(1) convention.
+    case StatusCode::kCancelled: return 130;         // 128 + SIGINT.
+    default: return 1;
+  }
+}
+
+/// Reports a failed command: stderr always; with --json also a machine-
+/// readable error object so callers never have to parse stderr.
+int FailWith(const Args& args, const char* command, const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return status.code() == StatusCode::kCancelled ? 130 : 1;
+  if (!args.json_path.empty()) {
+    std::string json = "{";
+    bool first = true;
+    JsonField(&json, "command", JsonString(command), &first);
+    JsonField(&json, "status", JsonString(StatusCodeName(status.code())),
+              &first);
+    JsonField(&json, "error", JsonString(status.message()), &first);
+    json += "}";
+    EmitJson(args, json);
+  }
+  return ExitCodeFor(status);
 }
 
 int CmdRun(const Args& args) {
@@ -340,8 +389,12 @@ int CmdRun(const Args& args) {
   data_options.seed = args.data_seed;
   data_options.scale = args.scale;
   data_options.attr_dim = args.attr_dim;
-  auto dataset = MakeDataset(args.dataset, data_options);
-  if (!dataset.ok()) return FailWith(dataset.status());
+  // Transient loader failures (kIoError) retry with capped backoff;
+  // anything else surfaces immediately.
+  Retryer dataset_retryer{RetryPolicy{}};
+  auto dataset = dataset_retryer.RunResult<Dataset>(
+      [&] { return MakeDataset(args.dataset, data_options); });
+  if (!dataset.ok()) return FailWith(args, "run", dataset.status());
   const Dataset& d = dataset.value();
   if (!args.quiet) {
     std::fprintf(stderr, "dataset %s: %d nodes / %d edges / %zu-d attrs\n",
@@ -359,6 +412,7 @@ int CmdRun(const Args& args) {
 
   RunContext ctx;
   ctx.profile = args.profile;
+  if (args.timeout > 0.0) ctx.SetDeadlineAfter(args.timeout);
   if (!args.quiet) {
     ctx.on_progress = [](const StageEvent& event) {
       if (event.finished) {
@@ -375,15 +429,15 @@ int CmdRun(const Args& args) {
   Timer total_timer;
   if (args.method == "tp-grgad") {
     auto options = BuildTpGrGadOptions(args.seed, method_options.overrides);
-    if (!options.ok()) return FailWith(options.status());
-    // Only the stage pipeline polls the cancel token; the baseline methods
-    // below keep the default SIGINT disposition (terminate) instead of a
-    // handler that would silently eat Ctrl-C.
+    if (!options.ok()) return FailWith(args, "run", options.status());
+    // Only the stage pipeline polls the stop token; the baseline methods
+    // below keep the default SIGINT/SIGTERM disposition (terminate) instead
+    // of a handler that would silently eat the signal.
     *GlobalCancelToken() = ctx.cancel_token();
-    std::signal(SIGINT, HandleSigint);
+    HookStopSignals(true);
     auto result = TpGrGad(options.value()).TryRun(d.graph, &ctx);
-    std::signal(SIGINT, SIG_DFL);  // Nothing polls the token past here.
-    if (!result.ok()) return FailWith(result.status());
+    HookStopSignals(false);  // Nothing polls the token past here.
+    if (!result.ok()) return FailWith(args, "run", result.status());
     artifacts = std::move(result).value();
     scored = artifacts.scored_groups;
   } else {
@@ -393,7 +447,7 @@ int CmdRun(const Args& args) {
       return 2;
     }
     auto method = MakeGroupDetector(args.method, method_options);
-    if (!method.ok()) return FailWith(method.status());
+    if (!method.ok()) return FailWith(args, "run", method.status());
     scored = method.value()->DetectGroups(d.graph);
     artifacts.seed = args.seed;
     artifacts.scored_groups = scored;
@@ -405,8 +459,10 @@ int CmdRun(const Args& args) {
   const double total_seconds = total_timer.ElapsedSeconds();
 
   if (!args.out_dir.empty()) {
-    const Status saved = SaveArtifacts(artifacts, args.out_dir);
-    if (!saved.ok()) return FailWith(saved);
+    Retryer save_retryer{RetryPolicy{}};
+    const Status saved = save_retryer.Run(
+        [&] { return SaveArtifacts(artifacts, args.out_dir); });
+    if (!saved.ok()) return FailWith(args, "run", saved);
     if (!args.quiet) {
       std::fprintf(stderr, "artifacts -> %s\n", args.out_dir.c_str());
     }
@@ -416,6 +472,7 @@ int CmdRun(const Args& args) {
   std::string json = "{";
   bool first = true;
   JsonField(&json, "command", JsonString("run"), &first);
+  JsonField(&json, "status", JsonString("ok"), &first);
   JsonField(&json, "dataset", JsonString(args.dataset), &first);
   JsonField(&json, "method", JsonString(args.method), &first);
   JsonField(&json, "seed", std::to_string(args.seed), &first);
@@ -444,8 +501,12 @@ int CmdRescore(const Args& args) {
                  args.detector.c_str());
     return 2;
   }
-  auto loaded = LoadArtifacts(args.in_dir);
-  if (!loaded.ok()) return FailWith(loaded.status());
+  // Transient read failures retry; corruption (kDataLoss) and missing dirs
+  // surface immediately — DefaultRetryable only passes kIoError.
+  Retryer load_retryer{RetryPolicy{}};
+  auto loaded = load_retryer.RunResult<PipelineArtifacts>(
+      [&] { return LoadArtifacts(args.in_dir); });
+  if (!loaded.ok()) return FailWith(args, "rescore", loaded.status());
   PipelineArtifacts artifacts = std::move(loaded).value();
   // Default to the seed recorded at run time so detector seeding matches a
   // full run with this detector bit-for-bit; --seed overrides.
@@ -453,15 +514,21 @@ int CmdRescore(const Args& args) {
 
   RunContext ctx;
   ctx.profile = args.profile;
+  if (args.timeout > 0.0) ctx.SetDeadlineAfter(args.timeout);
+  *GlobalCancelToken() = ctx.cancel_token();
+  HookStopSignals(true);
   auto rescored = RescoreArtifacts(artifacts, kind, seed, &ctx);
-  if (!rescored.ok()) return FailWith(rescored.status());
+  HookStopSignals(false);
+  if (!rescored.ok()) return FailWith(args, "rescore", rescored.status());
   artifacts.seed = seed;  // Keep a --out manifest true to these scores.
   artifacts.group_scores = rescored.value().scores;
   artifacts.scored_groups = rescored.value().scored_groups;
 
   if (!args.out_dir.empty()) {
-    const Status saved = SaveArtifacts(artifacts, args.out_dir);
-    if (!saved.ok()) return FailWith(saved);
+    Retryer save_retryer{RetryPolicy{}};
+    const Status saved = save_retryer.Run(
+        [&] { return SaveArtifacts(artifacts, args.out_dir); });
+    if (!saved.ok()) return FailWith(args, "rescore", saved);
     if (!args.quiet) {
       std::fprintf(stderr, "artifacts -> %s\n", args.out_dir.c_str());
     }
@@ -470,6 +537,7 @@ int CmdRescore(const Args& args) {
   std::string json = "{";
   bool first = true;
   JsonField(&json, "command", JsonString("rescore"), &first);
+  JsonField(&json, "status", JsonString("ok"), &first);
   JsonField(&json, "in", JsonString(args.in_dir), &first);
   JsonField(&json, "detector", JsonString(args.detector), &first);
   JsonField(&json, "num_groups",
@@ -491,6 +559,14 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (args.threads > 0) SetParallelismDegree(args.threads);
+  if (!args.inject.empty()) {
+    const Status configured = FaultInjector::Global().Configure(args.inject);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "error: --inject: %s\n",
+                   configured.ToString().c_str());
+      return 2;
+    }
+  }
   if (args.command == "list") return CmdList();
   if (args.command == "run") return CmdRun(args);
   if (args.command == "rescore") return CmdRescore(args);
