@@ -12,6 +12,7 @@
 // Set GRGAD_MICRO_JSON=0 to skip that phase, and GRGAD_MICRO_JSON_ONLY=1 to
 // run only it.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -19,6 +20,8 @@
 #include <filesystem>
 #include <functional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/data/example_graph.h"
@@ -37,6 +40,7 @@
 #include "src/od/lof.h"
 #include "src/od/reference_detectors.h"
 #include "src/sampling/pattern_search.h"
+#include "src/serve/server.h"
 #include "src/tensor/arena.h"
 #include "src/tensor/matrix.h"
 #include "src/tensor/reference_kernels.h"
@@ -314,7 +318,7 @@ std::vector<KernelResult> CompareKernels() {
 
 // ---------------------------------------------------------------------------
 // Candidate-stage comparison (frozen serial Alg. 1/Alg. 2 paths vs the
-// anchor-parallel workspace/view fast path) -> the grgad-micro-v4
+// anchor-parallel workspace/view fast path) -> the grgad-micro-v5
 // "candidates" table.
 // ---------------------------------------------------------------------------
 
@@ -636,6 +640,95 @@ std::vector<EpochResult> CompareTrainingEpochs() {
   return results;
 }
 
+// ---------------------------------------------------------------------------
+// Serve round-trip: one rescore request through a resident, prewarmed
+// ServeDaemon over a local pipe pair — the steady-state latency a
+// `grgad serve` client pays, transport included -> the "serve" table.
+// ---------------------------------------------------------------------------
+
+struct ServeResult {
+  std::string name;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  int round_trips = 0;
+};
+
+std::vector<ServeResult> MeasureServeRoundTrip() {
+  std::vector<ServeResult> results;
+  Dataset dataset = GenExampleGraph();
+  TpGrGadOptions options;
+  options.seed = 42;
+  options.mh_gae.base.epochs = 10;
+  options.mh_gae.base.hidden_dim = 16;
+  options.mh_gae.base.embed_dim = 8;
+  options.mh_gae.anchor_fraction = 0.15;
+  options.tpgcl.epochs = 8;
+  options.tpgcl.hidden_dim = 16;
+  options.tpgcl.embed_dim = 8;
+  options.serve_prewarm_workspaces = 4;
+  options.ReseedStages();
+  auto trained = RunPipeline(dataset.graph, options);
+  if (!trained.ok()) {
+    std::printf("  !! serve bench training failed: %s\n",
+                trained.status().ToString().c_str());
+    return results;
+  }
+  ServeOptions serve_options;
+  serve_options.pipeline = options;
+  ServeDaemon daemon(dataset.graph, std::move(trained).value(),
+                     serve_options);
+  daemon.Prewarm();
+
+  int c2s[2] = {-1, -1};
+  int s2c[2] = {-1, -1};
+  if (::pipe(c2s) != 0 || ::pipe(s2c) != 0) {
+    std::printf("  !! serve bench: pipe() failed\n");
+    return results;
+  }
+  CancelToken stop;
+  std::thread server([&daemon, &stop, in = c2s[0], out = s2c[1]] {
+    LineChannel channel(in, out, /*own_fds=*/true);
+    (void)daemon.Serve(&channel, stop);
+  });
+  {
+    LineChannel client(s2c[0], c2s[1], /*own_fds=*/true);
+    const std::string request =
+        R"({"id": 1, "op": "rescore", "detector": "ensemble", "top": 3})";
+    std::string response;
+    bool eof = false;
+    auto round_trip = [&]() -> bool {
+      if (!client.WriteLine(request).ok()) return false;
+      return client.ReadLine(&response, &eof).ok() && !eof;
+    };
+    constexpr int kWarmup = 2;
+    constexpr int kRoundTrips = 20;
+    bool ok = true;
+    for (int i = 0; i < kWarmup && ok; ++i) ok = round_trip();
+    ServeResult r;
+    r.name = "round_trip";
+    r.min_ms = 0.0;
+    double total_ms = 0.0;
+    for (int i = 0; i < kRoundTrips && ok; ++i) {
+      Timer timer;
+      ok = round_trip();
+      const double ms = timer.ElapsedSeconds() * 1000.0;
+      total_ms += ms;
+      r.min_ms = i == 0 ? ms : std::min(r.min_ms, ms);
+      ++r.round_trips;
+    }
+    if (ok && r.round_trips > 0) {
+      r.mean_ms = total_ms / r.round_trips;
+      std::printf("  serve %-15s mean %9.3f ms   min %9.3f ms   (%d trips)\n",
+                  r.name.c_str(), r.mean_ms, r.min_ms, r.round_trips);
+      results.push_back(std::move(r));
+    } else {
+      std::printf("  !! serve bench: round trip failed\n");
+    }
+  }  // Client hangs up; the daemon drains and Serve() returns.
+  server.join();
+  return results;
+}
+
 void WriteMicroJson() {
   // Epochs are measured FIRST, on a cold allocator: glibc's trim/mmap
   // thresholds ratchet up under the kernel benchmarks' large blocks, after
@@ -657,6 +750,9 @@ void WriteMicroJson() {
   std::printf("Kernel comparison (seed serial reference vs optimized), "
               "GRGAD_THREADS=%d\n", ParallelismDegree());
   const std::vector<KernelResult> results = CompareKernels();
+  std::printf("Serve round-trip (resident daemon, rescore over a local "
+              "pipe), GRGAD_THREADS=%d\n", ParallelismDegree());
+  const std::vector<ServeResult> serve = MeasureServeRoundTrip();
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
   const char* path = "bench_results/micro.json";
@@ -666,7 +762,7 @@ void WriteMicroJson() {
     return;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"grgad-micro-v4\",\n");
+  std::fprintf(f, "  \"schema\": \"grgad-micro-v5\",\n");
   std::fprintf(f, "  \"threads\": %d,\n", ParallelismDegree());
   std::fprintf(f, "  \"candidates\": [\n");
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -723,6 +819,16 @@ void WriteMicroJson() {
         static_cast<unsigned long long>(r.steady_reused),
         static_cast<unsigned long long>(r.steady_bytes_served),
         i + 1 < epochs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"serve\": [\n");
+  for (size_t i = 0; i < serve.size(); ++i) {
+    const ServeResult& r = serve[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"mean_ms\": %.6f, "
+                 "\"min_ms\": %.6f, \"round_trips\": %d}%s\n",
+                 r.name.c_str(), r.mean_ms, r.min_ms, r.round_trips,
+                 i + 1 < serve.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -2,6 +2,7 @@
 
 #include "src/core/options.h"
 #include "src/util/fault.h"
+#include "src/util/retry.h"
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -616,6 +617,10 @@ Result<PipelineArtifacts> LoadArtifacts(const std::string& dir) {
         static_cast<long long>(artifacts.tpgcl_loss_history.size()), path));
   }
   return artifacts;
+}
+
+bool ArtifactLoadRetryable(const Status& status) {
+  return DefaultRetryable(status) || status.code() == StatusCode::kNotFound;
 }
 
 }  // namespace grgad

@@ -49,6 +49,16 @@ Status SaveArtifacts(const PipelineArtifacts& artifacts,
 /// files. The result compares field-for-field identical to what was saved.
 Result<PipelineArtifacts> LoadArtifacts(const std::string& dir);
 
+/// Retry predicate for LoadArtifacts under concurrent writers: transient
+/// read failures (kIoError, the DefaultRetryable category) AND kNotFound.
+/// SaveArtifacts commits by renaming `dir` away and the staged replacement
+/// into place, so a reader racing the commit can observe the directory
+/// briefly absent; that NotFound heals on the next attempt. A directory
+/// that never existed also retries — callers pay the bounded backoff
+/// (~seconds) before the NotFound surfaces, which is the price of not being
+/// able to distinguish the two from the reader's side.
+bool ArtifactLoadRetryable(const Status& status);
+
 }  // namespace grgad
 
 #endif  // GRGAD_CORE_ARTIFACTS_H_

@@ -93,6 +93,7 @@ void BindTpGrGadOptions(TpGrGadOptions* o, OptionMap* map) {
     return Status::Ok();
   });
   map->Add("disable_tpgcl", &o->disable_tpgcl);
+  map->Add("serve.prewarm_workspaces", &o->serve_prewarm_workspaces);
 
   BindGaeOptions("mh_gae.", &o->mh_gae.base, map);
   map->Add("mh_gae.anchor_fraction", &o->mh_gae.anchor_fraction);

@@ -4,8 +4,26 @@
 
 namespace grgad {
 
-void RunContext::RecordSubStage(std::string stage, double seconds) {
+void RunContext::AppendTiming(const std::string& stage, double seconds) {
+  std::lock_guard<std::mutex> lock(timings_mu_);
   timings_.push_back({stage, seconds});
+}
+
+std::vector<StageTiming> RunContext::stage_timings() const {
+  std::lock_guard<std::mutex> lock(timings_mu_);
+  return timings_;
+}
+
+double RunContext::TotalSeconds() const {
+  std::lock_guard<std::mutex> lock(timings_mu_);
+  double total = 0.0;
+  for (const StageTiming& t : timings_) total += t.seconds;
+  return total;
+}
+
+void RunContext::RecordSubStage(std::string stage, double seconds) {
+  AppendTiming(stage, seconds);
+  // The observer fires outside the lock: it may itself read stage_timings().
   if (on_progress) {
     on_progress({std::move(stage), /*finished=*/true, seconds});
   }
@@ -21,7 +39,7 @@ StageScope::StageScope(RunContext* ctx, std::string stage)
 StageScope::~StageScope() {
   if (ctx_ == nullptr) return;
   const double seconds = timer_.ElapsedSeconds();
-  ctx_->timings_.push_back({stage_, seconds});
+  ctx_->AppendTiming(stage_, seconds);
   if (ctx_->on_progress) {
     ctx_->on_progress({stage_, /*finished=*/true, seconds});
   }

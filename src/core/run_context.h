@@ -7,13 +7,20 @@
 // accumulated across the run. Every stage entry point accepts a nullable
 // RunContext*; passing nullptr runs the stage with no context overhead.
 //
-// A RunContext is single-run, single-driver state: only RequestCancel() may
-// be called from other threads (or signal handlers); everything else is
-// owned by the thread driving the stages.
+// Threading: the telemetry surface is thread-safe — concurrent StageScope
+// brackets and RecordSubStage calls from different threads (the serving
+// daemon's pattern) interleave without racing, and stage_timings() returns
+// a consistent snapshot. RequestCancel() stays safe from any thread and
+// from signal handlers. The remaining mutable state (on_progress, profile)
+// is configure-before-use: set it before handing the context to stages and
+// leave it alone while they run; on_progress itself must be thread-safe if
+// stages run concurrently, since it fires from whichever thread finishes a
+// stage.
 #ifndef GRGAD_CORE_RUN_CONTEXT_H_
 #define GRGAD_CORE_RUN_CONTEXT_H_
 
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,7 +66,10 @@ class RunContext {
   /// deadline expiry, or a resource governor (arena byte budget).
   StopReason stop_reason() const { return cancel_.stop_reason(); }
 
-  /// Optional observer, invoked synchronously on the driving thread.
+  /// Optional observer, invoked synchronously on the thread running the
+  /// stage (always outside the telemetry lock). Configure before handing
+  /// the context to stages; must itself be thread-safe when stages run
+  /// concurrently on this context.
   std::function<void(const StageEvent&)> on_progress;
 
   /// Opt into fine-grained sub-stage telemetry: stages that do distinct
@@ -70,27 +80,29 @@ class RunContext {
   /// CLI's --profile flag turns it on.
   bool profile = false;
 
-  /// Telemetry for every finished stage, in execution order. Stages of
-  /// repeated runs through the same context append (the context outlives a
-  /// single RunPipeline call by design, e.g. run + rescore).
-  const std::vector<StageTiming>& stage_timings() const { return timings_; }
+  /// Snapshot of the telemetry for every finished stage, in completion
+  /// order. Stages of repeated runs through the same context append (the
+  /// context outlives a single RunPipeline call by design, e.g. run +
+  /// rescore). Returns a copy so the snapshot stays consistent while other
+  /// threads keep recording.
+  std::vector<StageTiming> stage_timings() const;
 
   /// Records an externally measured sub-stage timing (e.g. the candidate
   /// stage's "candidates/search" phase, clocked inside the sampler where a
-  /// StageScope cannot reach) and fires the finished progress event. Call
-  /// from the driving thread only.
+  /// StageScope cannot reach) and fires the finished progress event. Safe
+  /// from any thread.
   void RecordSubStage(std::string stage, double seconds);
 
   /// Sum of stage_timings() seconds.
-  double TotalSeconds() const {
-    double total = 0.0;
-    for (const StageTiming& t : timings_) total += t.seconds;
-    return total;
-  }
+  double TotalSeconds() const;
 
  private:
   friend class StageScope;
+
+  void AppendTiming(const std::string& stage, double seconds);
+
   CancelToken cancel_;
+  mutable std::mutex timings_mu_;
   std::vector<StageTiming> timings_;
 };
 

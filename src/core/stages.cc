@@ -263,6 +263,12 @@ Result<PipelineArtifacts> RunPipeline(const Graph& g,
   return artifacts;
 }
 
+void PrewarmPipelineState(const Graph& g, const TpGrGadOptions& options) {
+  if (options.serve_prewarm_workspaces <= 0) return;
+  GroupSampler::PrewarmWorkspaces(g, options.sampler,
+                                  options.serve_prewarm_workspaces);
+}
+
 Result<ScoringStageOutput> RescoreArtifacts(const PipelineArtifacts& artifacts,
                                             DetectorKind detector,
                                             uint64_t seed, RunContext* ctx) {

@@ -39,6 +39,13 @@ struct TpGrGadOptions {
   /// features instead (the "TP-GrGAD w/o TPGCL" ablation of Table V).
   bool disable_tpgcl = false;
   uint64_t seed = 42;
+  /// Serving: traversal workspaces to pre-grow per pool before the first
+  /// request (PrewarmPipelineState; OptionMap key
+  /// "serve.prewarm_workspaces"). 0 = no prewarm; values below the
+  /// parallelism degree are raised to it, since the candidate stage leases
+  /// one workspace pair per worker anyway. Prewarming never changes
+  /// results — it only moves workspace growth out of the serving path.
+  int serve_prewarm_workspaces = 0;
 
   /// Propagates `seed` into the training-stage seeds (mh_gae.base.seed,
   /// tpgcl.seed). The sampler and its subsampling draw keep their own
@@ -119,6 +126,14 @@ Status RunPipelineInto(const Graph& g, const TpGrGadOptions& options,
 Result<PipelineArtifacts> RunPipeline(const Graph& g,
                                       const TpGrGadOptions& options,
                                       RunContext* ctx = nullptr);
+
+/// Pre-grows the candidate stage's shared traversal-workspace pools (the
+/// BFS pool and the sampler's weighted pool) for `g`-sized traversals, so
+/// a resident process reaches steady-state zero-workspace-alloc before its
+/// first request (TraversalWorkspace::TotalHeapAllocs stops growing). No-op
+/// when options.serve_prewarm_workspaces == 0. Call with no leases
+/// outstanding — i.e. before serving, not mid-run.
+void PrewarmPipelineState(const Graph& g, const TpGrGadOptions& options);
 
 /// Re-runs only the scoring stage over saved artifacts with a (possibly
 /// different) detector — the "ECOD -> ensemble without re-training TPGCL"

@@ -188,6 +188,22 @@ void GroupSampler::TrimWorkspaces() {
   WeightedPool().Trim();
 }
 
+void GroupSampler::PrewarmWorkspaces(const Graph& g,
+                                     const GroupSamplerOptions& options,
+                                     int count) {
+  // Mirror SampleFast's own Prewarm calls exactly: the BFS pool needs
+  // n-sized buffers, the weighted pool additionally the worst-case Dijkstra
+  // heap reserve when attribute-distance path search is in effect.
+  const int instances = std::max(count, ParallelismDegree());
+  const bool use_attr_paths =
+      options.path_mode == PathSearchMode::kAttributeDistance &&
+      g.has_attributes();
+  TraversalWorkspacePool::Global().Prewarm(instances, g.num_nodes());
+  WeightedPool().Prewarm(
+      instances, g.num_nodes(),
+      use_attr_paths ? static_cast<size_t>(g.num_adj_slots()) + 1 : 0);
+}
+
 std::vector<std::vector<int>> GroupSampler::Sample(
     const Graph& g, const std::vector<int>& anchors) const {
   return Sample(g, anchors, nullptr);

@@ -114,6 +114,16 @@ class GroupSampler {
   /// switching to much smaller graphs; the next Sample() re-warms.
   static void TrimWorkspaces();
 
+  /// Pre-grows both pools for `g`-sized traversals under `options` — the
+  /// exact Prewarm calls Sample() issues on its fast path, so a subsequent
+  /// Sample() over `g` performs zero workspace heap allocations
+  /// (TraversalWorkspace::TotalHeapAllocs stays flat). `count` below the
+  /// parallelism degree is raised to it: Sample() leases one workspace pair
+  /// per worker, so fewer instances would still grow on the first call.
+  /// Call with no leases outstanding.
+  static void PrewarmWorkspaces(const Graph& g,
+                                const GroupSamplerOptions& options, int count);
+
  private:
   // The frozen seed shape: one anchor at a time, fresh traversal buffers
   // per call, per-pair Bellman–Ford (micro_benchmarks measures this against

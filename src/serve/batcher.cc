@@ -1,0 +1,44 @@
+#include "src/serve/batcher.h"
+
+#include <utility>
+
+namespace grgad {
+
+bool RequestQueue::Admit(ServeRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    PendingRequest pending;
+    pending.request = std::move(request);
+    pending.admit_seq = next_seq_++;
+    queue_.push_back(std::move(pending));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+bool RequestQueue::DrainBatch(std::vector<PendingRequest>* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return false;  // Closed and drained.
+  for (PendingRequest& pending : queue_) {
+    batch->push_back(std::move(pending));
+  }
+  queue_.clear();
+  return true;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace grgad

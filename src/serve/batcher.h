@@ -1,0 +1,67 @@
+// The daemon's admission queue + batch former.
+//
+// The reader thread Admit()s parsed requests as they arrive; the executor
+// thread blocks in DrainBatch(), which hands over EVERYTHING queued at that
+// instant as one batch — cross-request coalescing falls out naturally:
+// while the executor works through a slow request (an anchor-score retrain),
+// arrivals pile up and the next drain takes them all in one tick. The queue
+// is bounded; a full queue rejects at admission (the caller turns that into
+// a kResourceExhausted error response) instead of buffering unboundedly.
+//
+// Batch order is admission order (admit_seq, FIFO), which the executor
+// preserves — responses are written in request order, and per-request
+// determinism (responses are pure functions of request + resident state)
+// makes the bytes independent of how requests landed in batches.
+#ifndef GRGAD_SERVE_BATCHER_H_
+#define GRGAD_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/serve/request.h"
+#include "src/util/timer.h"
+
+namespace grgad {
+
+/// One admitted request waiting for (or moving through) execution.
+struct PendingRequest {
+  ServeRequest request;
+  uint64_t admit_seq = 0;  ///< Monotonic admission number (FIFO key).
+  Timer queued;            ///< Started at admission; read at completion for
+                           ///< the end-to-end latency histogram.
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues `request`, stamping its admit_seq. False — without enqueueing
+  /// — when the queue is at capacity or closed.
+  bool Admit(ServeRequest request);
+
+  /// Blocks until at least one request is queued (returning the entire
+  /// backlog, appended to *batch in admission order) or the queue is closed
+  /// AND empty (returns false: drain complete).
+  bool DrainBatch(std::vector<PendingRequest>* batch);
+
+  /// Stops admissions and wakes the drainer; already-queued requests still
+  /// drain (graceful-drain semantics).
+  void Close();
+
+  size_t depth() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::vector<PendingRequest> queue_;
+  uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_SERVE_BATCHER_H_

@@ -1,0 +1,186 @@
+#include "src/serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/graph/traversal_workspace.h"
+#include "src/serve/request.h"
+
+namespace grgad {
+namespace {
+
+/// Log-spaced latency bucket upper bounds (milliseconds); a final +inf
+/// bucket catches the tail.
+constexpr double kLatencyUppersMs[] = {1,   2,    5,    10,   25,   50,  100,
+                                       250, 500,  1000, 2500, 5000, 10000};
+constexpr size_t kNumLatencyUppers =
+    sizeof(kLatencyUppersMs) / sizeof(kLatencyUppersMs[0]);
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+ServeMetrics::ServeMetrics(size_t queue_capacity, size_t timeline_capacity)
+    : queue_capacity_(queue_capacity),
+      timeline_capacity_(timeline_capacity),
+      latency_buckets_(kNumLatencyUppers + 1, 0) {}
+
+void ServeMetrics::RecordAdmit(size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++admitted_;
+  peak_depth_ = std::max(peak_depth_, queue_depth_after);
+}
+
+void ServeMetrics::RecordReject() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServeMetrics::RecordBatch(size_t batch_size, size_t depth_at_drain,
+                               double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BatchSample sample{batches_, batch_size, depth_at_drain, seconds};
+  ++batches_;
+  max_batch_size_ = std::max(max_batch_size_, batch_size);
+  batched_requests_ += batch_size;
+  batch_exec_seconds_ += seconds;
+  if (timeline_capacity_ == 0) return;
+  if (timeline_.size() < timeline_capacity_) {
+    timeline_.push_back(sample);
+  } else {
+    timeline_[timeline_next_] = sample;
+  }
+  timeline_next_ = (timeline_next_ + 1) % timeline_capacity_;
+}
+
+void ServeMetrics::RecordRequest(const std::string& op, const Status& status,
+                                 double latency_seconds,
+                                 const std::vector<StageTiming>& timings) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  OpStats& op_stats = by_op_[op];
+  ++op_stats.count;
+  if (!status.ok()) {
+    ++request_errors_;
+    ++op_stats.errors;
+  }
+  for (const StageTiming& t : timings) {
+    StageStats& stage = by_stage_[t.stage];
+    ++stage.count;
+    stage.seconds += t.seconds;
+  }
+  const double ms = latency_seconds * 1000.0;
+  size_t bucket = 0;
+  while (bucket < kNumLatencyUppers && ms > kLatencyUppersMs[bucket]) {
+    ++bucket;
+  }
+  ++latency_buckets_[bucket];
+  max_latency_ms_ = std::max(max_latency_ms_, ms);
+  total_latency_ms_ += ms;
+}
+
+std::string ServeMetrics::SnapshotJson(size_t queue_depth,
+                                       const MatrixArena* arena) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"schema\": \"grgad-serve-metrics-v1\"";
+
+  out += ", \"queue\": {\"capacity\": " + std::to_string(queue_capacity_) +
+         ", \"depth\": " + std::to_string(queue_depth) +
+         ", \"peak_depth\": " + std::to_string(peak_depth_) +
+         ", \"admitted\": " + std::to_string(admitted_) +
+         ", \"rejected\": " + std::to_string(rejected_) + "}";
+
+  out += ", \"requests\": {\"total\": ";
+  out += std::to_string(requests_);
+  out += ", \"errors\": ";
+  out += std::to_string(request_errors_);
+  out += ", \"by_op\": {";
+  bool first = true;
+  for (const auto& [op, stats] : by_op_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += JsonEscapeText(op);
+    out += "\": {\"count\": ";
+    out += std::to_string(stats.count);
+    out += ", \"errors\": ";
+    out += std::to_string(stats.errors);
+    out += "}";
+  }
+  out += "}}";
+
+  const double mean_batch =
+      batches_ > 0
+          ? static_cast<double>(batched_requests_) / static_cast<double>(batches_)
+          : 0.0;
+  out += ", \"batches\": {\"count\": " + std::to_string(batches_) +
+         ", \"max_size\": " + std::to_string(max_batch_size_) +
+         ", \"mean_size\": " + Num(mean_batch) +
+         ", \"exec_seconds\": " + Num(batch_exec_seconds_) + "}";
+
+  out += ", \"latency_ms\": {\"buckets\": [";
+  for (size_t i = 0; i < latency_buckets_.size(); ++i) {
+    if (i) out += ", ";
+    out += "{\"le\": ";
+    out += i < kNumLatencyUppers ? Num(kLatencyUppersMs[i]) : "null";
+    out += ", \"count\": " + std::to_string(latency_buckets_[i]) + "}";
+  }
+  out += "], \"max_ms\": ";
+  out += Num(max_latency_ms_);
+  out += ", \"total_ms\": ";
+  out += Num(total_latency_ms_);
+  out += "}";
+
+  out += ", \"stages\": {";
+  first = true;
+  for (const auto& [stage, stats] : by_stage_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += JsonEscapeText(stage);
+    out += "\": {\"count\": ";
+    out += std::to_string(stats.count);
+    out += ", \"seconds\": ";
+    out += Num(stats.seconds);
+    out += "}";
+  }
+  out += "}";
+
+  out += ", \"workspace\": {\"total_heap_allocs\": " +
+         std::to_string(TraversalWorkspace::TotalHeapAllocs()) + "}";
+
+  out += ", \"arena\": {";
+  if (arena != nullptr) {
+    const MatrixArena::Stats stats = arena->stats();
+    out += "\"acquired\": " + std::to_string(stats.acquired) +
+           ", \"reused\": " + std::to_string(stats.reused) +
+           ", \"heap_allocs\": " + std::to_string(stats.heap_allocs) +
+           ", \"released\": " + std::to_string(stats.released) +
+           ", \"bytes_served\": " + std::to_string(stats.bytes_served) +
+           ", \"heap_bytes\": " + std::to_string(stats.heap_bytes);
+  }
+  out += "}";
+
+  // Chronological ring dump: oldest surviving batch first.
+  out += ", \"timeline\": [";
+  const size_t n = timeline_.size();
+  const size_t start = n < timeline_capacity_ ? 0 : timeline_next_;
+  for (size_t i = 0; i < n; ++i) {
+    const BatchSample& s = timeline_[(start + i) % n];
+    if (i) out += ", ";
+    out += "{\"batch\": " + std::to_string(s.batch) +
+           ", \"size\": " + std::to_string(s.size) +
+           ", \"depth_at_drain\": " + std::to_string(s.depth_at_drain) +
+           ", \"seconds\": " + Num(s.seconds) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace grgad

@@ -1,0 +1,100 @@
+// Live serving telemetry: counters, histograms, and a bounded timeline.
+//
+// ServeMetrics is the daemon's always-on collector — every admission,
+// rejection, batch, and completed request records into mutex-guarded
+// aggregates, cheap enough to leave enabled (a few counter bumps per
+// request; the pipeline's own telemetry arrives for free via RunContext
+// stage timings). A `stats` request — or the --metrics-out dump at
+// shutdown — renders SnapshotJson(): one self-describing JSON object
+// ("grgad-serve-metrics-v1", schema documented in PERF.md) with queue
+// gauges, per-op request counts, batch-size stats, a log-spaced request
+// latency histogram, per-(sub-)stage wall-time aggregates, the shared
+// workspace/arena allocation counters, and a most-recent-batches timeline
+// ring (collector + timeline, not an unbounded log).
+#ifndef GRGAD_SERVE_METRICS_H_
+#define GRGAD_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/run_context.h"
+#include "src/tensor/arena.h"
+#include "src/util/status.h"
+
+namespace grgad {
+
+class ServeMetrics {
+ public:
+  /// `timeline_capacity` bounds the per-batch timeline ring; older batches
+  /// fall off (their contribution stays in the aggregates).
+  explicit ServeMetrics(size_t queue_capacity, size_t timeline_capacity = 256);
+
+  /// One request entered the queue; `queue_depth_after` feeds the depth
+  /// peak gauge.
+  void RecordAdmit(size_t queue_depth_after);
+
+  /// One request was turned away at admission (full queue or injected
+  /// fault) with an error response.
+  void RecordReject();
+
+  /// One batch finished: `batch_size` requests executed in `seconds`,
+  /// drained when the queue held `depth_at_drain` (== batch_size unless
+  /// requests kept arriving mid-drain).
+  void RecordBatch(size_t batch_size, size_t depth_at_drain, double seconds);
+
+  /// One request completed (ok or error) after `latency_seconds` from
+  /// admission; `timings` carries the request's RunContext stage/sub-stage
+  /// brackets, folded into the per-stage aggregates.
+  void RecordRequest(const std::string& op, const Status& status,
+                     double latency_seconds,
+                     const std::vector<StageTiming>& timings);
+
+  /// The live snapshot. `queue_depth` is sampled by the caller (the queue
+  /// owns it); `arena` contributes the shared warm-buffer stats (nullptr
+  /// omits the section's counters but keeps the key).
+  std::string SnapshotJson(size_t queue_depth, const MatrixArena* arena) const;
+
+ private:
+  struct OpStats {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+  };
+  struct StageStats {
+    uint64_t count = 0;
+    double seconds = 0.0;
+  };
+  struct BatchSample {
+    uint64_t batch = 0;
+    size_t size = 0;
+    size_t depth_at_drain = 0;
+    double seconds = 0.0;
+  };
+
+  const size_t queue_capacity_;
+  const size_t timeline_capacity_;
+
+  mutable std::mutex mu_;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  size_t peak_depth_ = 0;
+  uint64_t batches_ = 0;
+  size_t max_batch_size_ = 0;
+  uint64_t batched_requests_ = 0;
+  double batch_exec_seconds_ = 0.0;
+  uint64_t requests_ = 0;
+  uint64_t request_errors_ = 0;
+  std::map<std::string, OpStats> by_op_;
+  std::map<std::string, StageStats> by_stage_;
+  std::vector<uint64_t> latency_buckets_;  ///< One per kLatencyUppersMs + inf.
+  double max_latency_ms_ = 0.0;
+  double total_latency_ms_ = 0.0;
+  std::vector<BatchSample> timeline_;  ///< Ring, chronological modulo wrap.
+  size_t timeline_next_ = 0;
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_SERVE_METRICS_H_

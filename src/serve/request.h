@@ -1,0 +1,115 @@
+// The serving daemon's wire format: one JSON object per line, both ways.
+//
+// Requests (all fields but `id` and `op` optional):
+//
+//   {"id": 1, "op": "anchor-score", "set": ["sampler.max_groups=64"],
+//    "timeout": 5.0, "top": 5}
+//       Full pipeline over the resident graph; "set" carries the same
+//       key=value overrides as `grgad run --set`, applied on top of the
+//       daemon's base options through the method-registry OptionMap.
+//   {"id": 2, "op": "rescore", "detector": "ensemble", "seed": 42}
+//       Scoring stage only, over the resident artifacts (the daemon-side
+//       twin of `grgad rescore`); seed defaults to the artifacts' seed.
+//   {"id": 3, "op": "what-if", "contains": 17, "min_size": 3,
+//    "max_size": 32, "detector": "ecod"}
+//       Re-scores the subset of resident candidate groups passing the
+//       filters — the cheap multi-scale what-if query a resident daemon
+//       exists for. Detector defaults to the daemon's base detector.
+//   {"id": 4, "op": "stats"}       live metrics snapshot
+//   {"id": 5, "op": "shutdown"}    graceful drain + daemon exit
+//
+// Responses echo {"id", "op", "status"} first; scoring responses carry
+// counts and "top_groups" with scores at 17 significant digits (exact
+// IEEE-754 round-trip), and deliberately NO wall-time fields — timings live
+// in the metrics timeline, so a response is a pure function of the request
+// and the resident state. That is what makes the batched-vs-sequential
+// bitwise contract testable: the same renderers run over a direct
+// RunPipeline/RescoreArtifacts result must produce the same bytes
+// (tests/serve_test.cc).
+#ifndef GRGAD_SERVE_REQUEST_H_
+#define GRGAD_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/artifacts.h"
+#include "src/util/status.h"
+
+namespace grgad {
+
+// ---- minimal JSON value + parser (no third-party deps) ----------------------
+
+/// A parsed JSON value. Numbers are doubles (the wire format never needs
+/// integers beyond 2^53); object members keep insertion order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// The named object member, or nullptr (also for non-objects).
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document (trailing garbage is an error).
+/// InvalidArgument with position info on malformed input.
+Result<JsonValue> ParseJsonText(const std::string& text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes).
+std::string JsonEscapeText(const std::string& s);
+
+// ---- requests ---------------------------------------------------------------
+
+enum class ServeOp { kAnchorScore, kRescore, kWhatIf, kStats, kShutdown };
+
+const char* ServeOpName(ServeOp op);
+
+struct ServeRequest {
+  int64_t id = 0;
+  ServeOp op = ServeOp::kStats;
+  std::vector<std::string> overrides;  ///< anchor-score "set" entries.
+  std::string detector;                ///< rescore (required) / what-if.
+  bool has_seed = false;
+  uint64_t seed = 0;
+  double timeout_seconds = 0.0;  ///< Per-request deadline; 0 = daemon default.
+  int top = 5;                   ///< Top groups echoed in the response.
+  // what-if filters (kept groups must satisfy all):
+  int64_t contains_node = -1;    ///< -1 = no membership filter.
+  int min_size = 0;              ///< 0 = unbounded.
+  int max_size = 0;              ///< 0 = unbounded.
+};
+
+/// Parses and validates one request line. InvalidArgument on malformed
+/// JSON, a missing/negative id, an unknown op, unknown keys, or per-op
+/// requirements (rescore needs "detector").
+Result<ServeRequest> ParseServeRequest(const std::string& line);
+
+// ---- responses --------------------------------------------------------------
+
+/// {"id", "op": "anchor-score", "status": "ok", num_anchors, num_groups,
+///  top_groups} for a full-pipeline result.
+std::string RenderAnchorScoreResponse(int64_t id,
+                                      const PipelineArtifacts& artifacts,
+                                      int top);
+
+/// {"id", "op", "status": "ok", num_groups, top_groups} for rescore /
+/// what-if results.
+std::string RenderScoredGroupsResponse(int64_t id, ServeOp op,
+                                       const std::vector<ScoredGroup>& scored,
+                                       int top);
+
+/// {"id", "op", "status": "<StatusCodeName>", "error": "..."} — the
+/// per-request failure surface (deadline expiry, injected faults, bad
+/// options). `op_name` form for requests that never parsed.
+std::string RenderErrorResponse(int64_t id, ServeOp op, const Status& status);
+std::string RenderErrorResponse(int64_t id, const char* op_name,
+                                const Status& status);
+
+}  // namespace grgad
+
+#endif  // GRGAD_SERVE_REQUEST_H_

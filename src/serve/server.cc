@@ -1,0 +1,267 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "src/core/method_registry.h"
+#include "src/od/detector.h"
+#include "src/util/fault.h"
+#include "src/util/logging.h"
+
+namespace grgad {
+namespace {
+
+/// Best-effort request id from a line whose full validation failed, so the
+/// error response still correlates (-1 when even that much is unreadable).
+int64_t SalvageRequestId(const std::string& line) {
+  auto parsed = ParseJsonText(line);
+  if (!parsed.ok()) return -1;
+  const JsonValue* id = parsed.value().Find("id");
+  if (id == nullptr || id->kind != JsonValue::Kind::kNumber ||
+      id->number != std::floor(id->number) || id->number < 0) {
+    return -1;
+  }
+  return static_cast<int64_t>(id->number);
+}
+
+bool BlankLine(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(const Graph& graph, PipelineArtifacts artifacts,
+                         ServeOptions options)
+    : graph_(&graph),
+      artifacts_(std::move(artifacts)),
+      options_(std::move(options)),
+      metrics_(options_.max_queue) {}
+
+void ServeDaemon::Prewarm() {
+  PrewarmPipelineState(*graph_, options_.pipeline);
+}
+
+std::string ServeDaemon::MetricsJson() const {
+  RequestQueue* queue = live_queue_.load(std::memory_order_acquire);
+  return metrics_.SnapshotJson(queue != nullptr ? queue->depth() : 0, &arena_);
+}
+
+Status ServeDaemon::Serve(LineChannel* channel, const CancelToken& stop) {
+  RequestQueue queue(options_.max_queue);
+  live_queue_.store(&queue, std::memory_order_release);
+  std::thread executor([&] { ExecuteLoop(&queue, channel); });
+
+  Status transport = Status::Ok();
+  std::string line;
+  bool eof = false;
+  while (!shutdown_requested()) {
+    transport = channel->ReadLine(&line, &eof, &stop);
+    if (!transport.ok() || eof) break;
+    if (BlankLine(line)) continue;
+
+    auto parsed = ParseServeRequest(line);
+    if (!parsed.ok()) {
+      metrics_.RecordReject();
+      (void)channel->WriteLine(
+          RenderErrorResponse(SalvageRequestId(line), "invalid",
+                              parsed.status()));
+      continue;
+    }
+    ServeRequest request = std::move(parsed).value();
+    const int64_t id = request.id;
+    const ServeOp op = request.op;
+
+    if (Status fault = FaultInjector::Global().Check(
+            "serve/admit", StatusCode::kResourceExhausted);
+        !fault.ok()) {
+      metrics_.RecordReject();
+      (void)channel->WriteLine(RenderErrorResponse(id, op, fault));
+      continue;
+    }
+    if (!queue.Admit(std::move(request))) {
+      metrics_.RecordReject();
+      (void)channel->WriteLine(RenderErrorResponse(
+          id, op,
+          Status::ResourceExhausted(
+              "queue full (capacity " + std::to_string(queue.capacity()) +
+              ")")));
+      continue;
+    }
+    metrics_.RecordAdmit(queue.depth());
+    // Shutdown stops reading immediately; everything already admitted —
+    // including the shutdown request itself, which is what flips the flag
+    // and emits the acknowledgement — still drains in order.
+    if (op == ServeOp::kShutdown) break;
+  }
+
+  queue.Close();
+  executor.join();
+  live_queue_.store(nullptr, std::memory_order_release);
+  return transport;
+}
+
+void ServeDaemon::ExecuteLoop(RequestQueue* queue, LineChannel* channel) {
+  std::vector<PendingRequest> batch;
+  while (queue->DrainBatch(&batch)) {
+    Timer batch_timer;
+    for (PendingRequest& pending : batch) {
+      Status status;
+      std::vector<StageTiming> timings;
+      const std::string response = Execute(pending.request, &status, &timings);
+      // A dead peer must not abort the drain: execution is side-effect-free
+      // per request, so finishing the batch just discards undeliverable
+      // responses.
+      const Status written = channel->WriteLine(response);
+      if (!written.ok()) {
+        GRGAD_LOG(kWarning) << "serve: dropping response for request "
+                            << pending.request.id << ": "
+                            << written.ToString();
+      }
+      metrics_.RecordRequest(ServeOpName(pending.request.op), status,
+                             pending.queued.ElapsedSeconds(), timings);
+    }
+    metrics_.RecordBatch(batch.size(), batch.size(),
+                         batch_timer.ElapsedSeconds());
+    batch.clear();
+  }
+}
+
+std::string ServeDaemon::Execute(const ServeRequest& request,
+                                 Status* status_out,
+                                 std::vector<StageTiming>* timings_out) {
+  Status status = Status::Ok();
+  std::string response;
+  RunContext ctx;
+  // Sub-stage telemetry is free detail for the metrics timeline; it never
+  // reaches responses, so turning it on cannot perturb response bytes.
+  ctx.profile = true;
+  const double timeout = request.timeout_seconds > 0.0
+                             ? request.timeout_seconds
+                             : options_.default_timeout_seconds;
+  if (timeout > 0.0) ctx.SetDeadlineAfter(timeout);
+
+  if (Status fault =
+          FaultInjector::Global().Check("serve/execute", StatusCode::kInternal);
+      !fault.ok()) {
+    status = fault;
+    response = RenderErrorResponse(request.id, request.op, fault);
+  } else {
+    switch (request.op) {
+      case ServeOp::kAnchorScore: {
+        TpGrGadOptions options = options_.pipeline;
+        status = ApplyTpGrGadOverrides(&options, request.overrides);
+        if (!status.ok()) {
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        // Resident warm state: recycle training buffers across requests.
+        // Value-neutral by the arena contract (memory, never values), so
+        // responses stay bitwise identical to an arena-less sequential run.
+        options.mh_gae.base.arena = &arena_;
+        options.tpgcl.arena = &arena_;
+        auto result = RunPipeline(*graph_, options, &ctx);
+        if (!result.ok()) {
+          status = result.status();
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        response =
+            RenderAnchorScoreResponse(request.id, result.value(), request.top);
+        break;
+      }
+      case ServeOp::kRescore: {
+        DetectorKind kind;
+        if (!ParseDetectorKind(request.detector, &kind)) {
+          status = Status::InvalidArgument("unknown detector '" +
+                                           request.detector + "'");
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        const uint64_t seed =
+            request.has_seed ? request.seed : artifacts_.seed;
+        auto result = RescoreArtifacts(artifacts_, kind, seed, &ctx);
+        if (!result.ok()) {
+          status = result.status();
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        response = RenderScoredGroupsResponse(
+            request.id, request.op, result.value().scored_groups, request.top);
+        break;
+      }
+      case ServeOp::kWhatIf: {
+        DetectorKind kind = options_.pipeline.detector;
+        if (!request.detector.empty() &&
+            !ParseDetectorKind(request.detector, &kind)) {
+          status = Status::InvalidArgument("unknown detector '" +
+                                           request.detector + "'");
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        // Filter resident candidate groups (sorted node lists) and slice
+        // their embedding rows; the scoring stage then runs exactly as a
+        // sequential RunScoringStage over the same subset would.
+        std::vector<std::vector<int>> groups;
+        std::vector<size_t> rows;
+        for (size_t i = 0; i < artifacts_.candidate_groups.size(); ++i) {
+          const std::vector<int>& group = artifacts_.candidate_groups[i];
+          if (request.contains_node >= 0 &&
+              !std::binary_search(group.begin(), group.end(),
+                                  static_cast<int>(request.contains_node))) {
+            continue;
+          }
+          const int size = static_cast<int>(group.size());
+          if (request.min_size > 0 && size < request.min_size) continue;
+          if (request.max_size > 0 && size > request.max_size) continue;
+          rows.push_back(i);
+          groups.push_back(group);
+        }
+        if (groups.empty()) {
+          status = Status::FailedPrecondition(
+              "what-if: no resident groups match the filter");
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        Matrix subset(groups.size(), artifacts_.group_embeddings.cols());
+        for (size_t r = 0; r < rows.size(); ++r) {
+          for (size_t c = 0; c < subset.cols(); ++c) {
+            subset(r, c) = artifacts_.group_embeddings(rows[r], c);
+          }
+        }
+        TpGrGadOptions options;
+        options.detector = kind;
+        options.seed = request.has_seed ? request.seed : artifacts_.seed;
+        auto result = RunScoringStage(subset, groups, options, &ctx);
+        if (!result.ok()) {
+          status = result.status();
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        response = RenderScoredGroupsResponse(
+            request.id, request.op, result.value().scored_groups, request.top);
+        break;
+      }
+      case ServeOp::kStats: {
+        response = "{\"id\": " + std::to_string(request.id) +
+                   ", \"op\": \"stats\", \"status\": \"ok\", \"metrics\": " +
+                   MetricsJson() + "}";
+        break;
+      }
+      case ServeOp::kShutdown: {
+        shutdown_.store(true, std::memory_order_relaxed);
+        response = "{\"id\": " + std::to_string(request.id) +
+                   ", \"op\": \"shutdown\", \"status\": \"ok\", "
+                   "\"draining\": true}";
+        break;
+      }
+    }
+  }
+
+  if (status_out != nullptr) *status_out = status;
+  if (timings_out != nullptr) *timings_out = ctx.stage_timings();
+  return response;
+}
+
+}  // namespace grgad

@@ -1,0 +1,108 @@
+// The resident serving daemon behind `grgad serve`.
+//
+// A ServeDaemon owns everything a request would otherwise pay for on every
+// CLI invocation: the host graph stays mapped, the trained
+// PipelineArtifacts stay loaded, the traversal-workspace pools stay
+// prewarmed (PrewarmPipelineState), and one shared MatrixArena keeps
+// training buffers warm across anchor-score retrains. Serve() runs one
+// line-delimited JSON session: an inline reader thread parses and admits
+// requests into the bounded RequestQueue, an executor thread drains
+// whole-backlog batches and runs them through the regular stage entry
+// points (RunPipeline / RescoreArtifacts / RunScoringStage) — one request
+// at a time, each internally parallel at full GRGAD_THREADS.
+//
+// Determinism: a response is a pure function of (request, resident
+// artifacts, base options) — batch items execute sequentially in admission
+// order on shared-but-value-neutral state (pools and arena recycle memory,
+// never values), responses carry no timestamps, and scores render at 17
+// significant digits. Batched output is therefore bitwise identical to
+// running the same requests one-by-one through the stage functions, at any
+// GRGAD_THREADS and any admission order (tests/serve_test.cc).
+//
+// Failure isolation: each request runs under its own RunContext with its
+// own deadline; kDeadlineExceeded, injected faults ("serve/admit",
+// "serve/execute", and every stage/* point), and bad options become
+// per-request error responses — the daemon never exits on a request
+// failure. A fired `stop` token (SIGTERM) or a `shutdown` request stops
+// admissions and drains everything already admitted before Serve()
+// returns.
+#ifndef GRGAD_SERVE_SERVER_H_
+#define GRGAD_SERVE_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/core/stages.h"
+#include "src/serve/batcher.h"
+#include "src/serve/metrics.h"
+#include "src/serve/request.h"
+#include "src/util/transport.h"
+
+namespace grgad {
+
+struct ServeOptions {
+  /// Base pipeline configuration (dataset-independent knobs, detector,
+  /// seed, serve.prewarm_workspaces); per-request "set" overrides layer on
+  /// top of a copy.
+  TpGrGadOptions pipeline;
+  /// Admission-queue bound; a full queue rejects with kResourceExhausted.
+  size_t max_queue = 64;
+  /// Deadline applied to requests that carry no "timeout" (0 = none).
+  double default_timeout_seconds = 0.0;
+};
+
+class ServeDaemon {
+ public:
+  /// `graph` must outlive the daemon; `artifacts` is the trained resident
+  /// state rescore/what-if requests read.
+  ServeDaemon(const Graph& graph, PipelineArtifacts artifacts,
+              ServeOptions options);
+
+  /// Pre-grows the shared traversal-workspace pools for the resident graph
+  /// (per pipeline.serve_prewarm_workspaces) so the first request's
+  /// candidate stage allocates nothing.
+  void Prewarm();
+
+  /// Serves one session over `channel` until the peer closes the stream,
+  /// `stop` fires, or a shutdown request lands — then drains every admitted
+  /// request and returns. The returned Status reflects the transport only
+  /// (request failures are per-request responses).
+  Status Serve(LineChannel* channel, const CancelToken& stop);
+
+  /// Executes one request synchronously — the exact code path batched
+  /// requests take, exposed for tests and benches. `status_out` /
+  /// `timings_out` (optional) receive the request's outcome and stage
+  /// telemetry.
+  std::string Execute(const ServeRequest& request,
+                      Status* status_out = nullptr,
+                      std::vector<StageTiming>* timings_out = nullptr);
+
+  /// Current metrics snapshot (what a `stats` request returns under
+  /// "metrics", and what --metrics-out writes at exit).
+  std::string MetricsJson() const;
+
+  ServeMetrics& metrics() { return metrics_; }
+  const PipelineArtifacts& artifacts() const { return artifacts_; }
+
+  /// True once a shutdown request was executed; the owner's accept loop
+  /// checks this between sessions.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ExecuteLoop(RequestQueue* queue, LineChannel* channel);
+
+  const Graph* graph_;
+  PipelineArtifacts artifacts_;
+  ServeOptions options_;
+  MatrixArena arena_;  ///< Warm training buffers shared across requests.
+  ServeMetrics metrics_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<RequestQueue*> live_queue_{nullptr};  ///< Depth gauge source.
+};
+
+}  // namespace grgad
+
+#endif  // GRGAD_SERVE_SERVER_H_

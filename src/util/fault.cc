@@ -17,7 +17,7 @@ constexpr const char* kPointNames[] = {
     "stage/anchors",  "stage/sampling", "stage/embedding", "stage/scoring",
     "artifact/write", "artifact/read",  "artifact/fsync",  "artifact/rename",
     "dataset/load",   "arena/alloc",    "parallel/dispatch",
-    "od/ensemble-member",
+    "od/ensemble-member", "serve/admit", "serve/execute",
 };
 constexpr int kNumPoints =
     static_cast<int>(sizeof(kPointNames) / sizeof(kPointNames[0]));

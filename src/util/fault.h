@@ -27,6 +27,12 @@
 //                     path (results are bitwise identical by contract)
 //   od/ensemble-member  one ensemble member's fit fails (injected Internal);
 //                     the ensemble continues with the survivors
+//   serve/admit       the serving daemon rejects a request at admission
+//                     (injected ResourceExhausted — an error response, the
+//                     daemon keeps serving)
+//   serve/execute     a batched request fails before execution (injected
+//                     Internal — degrades that request only, never the
+//                     daemon)
 //
 // When disabled (the default) every check is a single relaxed atomic load.
 // Configure() must not race in-flight checks: configure between runs.

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
-"""CI gate over bench_results/micro.json (grgad-micro-v4).
+"""CI gate over bench_results/micro.json (grgad-micro-v5).
 
 Fails (exit 1) when:
-  - the schema is not grgad-micro-v4, or the candidates/kernels/scoring/
-    epochs tables are missing or empty;
+  - the schema is not grgad-micro-v5, or the candidates/kernels/scoring/
+    epochs/serve tables are missing or empty;
   - the candidates table lacks any of the required seed-vs-opt entries
     (sampler, pattern_search, augment), or the sampler entry reports a
     nonzero steady-state workspace heap-allocation count;
   - the scoring table lacks any of the required seed-vs-opt entries
     (pairwise, knn, lof, iforest, ecod, graphsnn);
+  - the serve table lacks a round_trip entry with a positive mean_ms
+    (the resident daemon answered every timed request);
   - any candidates or scoring entry's optimized path regresses more than
     REGRESSION_LIMIT (1.5x) against its frozen seed baseline on the runner.
 
@@ -55,10 +57,10 @@ def main() -> int:
 
     failures = []
     schema = data.get("schema")
-    if schema != "grgad-micro-v4":
-        failures.append(f"schema is {schema!r}, expected 'grgad-micro-v4'")
+    if schema != "grgad-micro-v5":
+        failures.append(f"schema is {schema!r}, expected 'grgad-micro-v5'")
 
-    for table in ("candidates", "kernels", "scoring", "epochs"):
+    for table in ("candidates", "kernels", "scoring", "epochs", "serve"):
         if not data.get(table):
             failures.append(f"table {table!r} is missing or empty")
 
@@ -76,13 +78,28 @@ def main() -> int:
                 f"sampler steady-state workspace heap allocs = {allocs},"
                 f" expected 0")
 
+    serve_names = {}
+    for entry in data.get("serve") or []:
+        serve_names[entry.get("name")] = entry
+    round_trip = serve_names.get("round_trip")
+    if round_trip is None:
+        failures.append("serve table is missing entry 'round_trip'")
+    else:
+        mean_ms = round_trip.get("mean_ms")
+        if not isinstance(mean_ms, (int, float)) or mean_ms <= 0:
+            failures.append(
+                f"serve round_trip mean_ms = {mean_ms!r}, expected > 0")
+        else:
+            print(f"  serve round_trip     mean {mean_ms:9.3f} ms over"
+                  f" {round_trip.get('round_trips', 0)} trips")
+
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print(f"OK: {path} is grgad-micro-v4 with complete candidates/scoring "
-          f"tables, 0 steady-state sampler workspace allocs, and no opt "
-          f"regression beyond {REGRESSION_LIMIT}x")
+    print(f"OK: {path} is grgad-micro-v5 with complete candidates/scoring/"
+          f"serve tables, 0 steady-state sampler workspace allocs, and no "
+          f"opt regression beyond {REGRESSION_LIMIT}x")
     return 0
 
 

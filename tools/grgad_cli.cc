@@ -11,6 +11,15 @@
 //   grgad rescore --in artifacts/ --detector=ensemble [--out artifacts2/]
 //       Reloads saved artifacts and re-runs ONLY the scoring stage with a
 //       different outlier detector — no re-training.
+//   grgad serve --dataset=example [--in artifacts/] [--socket PATH]
+//       Resident daemon: loads the dataset (and artifacts, or trains them)
+//       once, then answers newline-delimited JSON requests — anchor-score /
+//       rescore / what-if / stats / shutdown — over a unix socket or
+//       stdin/stdout, batching queued requests per tick. SIGTERM drains
+//       in-flight requests and exits 0.
+//   grgad query --socket PATH 'JSON' ['JSON' ...]
+//       One-shot client for the daemon (waits for it to come up, writes the
+//       request lines, prints one response line each).
 //
 // All configuration is string-keyed through the method registry, so this
 // binary needs no per-method flag wiring.
@@ -23,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "src/core/artifacts.h"
 #include "src/core/evaluation.h"
 #include "src/core/method_registry.h"
@@ -30,10 +41,12 @@
 #include "src/core/stages.h"
 #include "src/data/registry.h"
 #include "src/od/detector.h"
+#include "src/serve/server.h"
 #include "src/util/fault.h"
 #include "src/util/parallel.h"
 #include "src/util/retry.h"
 #include "src/util/timer.h"
+#include "src/util/transport.h"
 
 namespace grgad {
 namespace {
@@ -121,6 +134,12 @@ struct Args {
   bool quiet = false;
   bool profile = false;
   std::vector<std::string> overrides;
+  // serve / query:
+  std::string socket_path;         // Unix socket; serve defaults to stdio.
+  int max_queue = 64;              // serve: admission-queue bound.
+  std::string metrics_out;         // serve: metrics JSON dump at exit.
+  double wait = 15.0;              // query: daemon connect window (seconds).
+  std::vector<std::string> requests;  // query: positional request lines.
 };
 
 /// Matches "--name=value" or "--name value" (value from the next argv slot,
@@ -220,6 +239,30 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
       args->overrides.push_back(value);
       continue;
     }
+    if (ParseFlag(argc, argv, &i, "socket", &args->socket_path)) continue;
+    if (ParseFlag(argc, argv, &i, "metrics-out", &args->metrics_out)) continue;
+    if (ParseFlag(argc, argv, &i, "max-queue", &value)) {
+      if (!ParseIntValue(value, &args->max_queue) || args->max_queue < 1) {
+        *error = "--max-queue: expected a positive integer, got '" + value +
+                 "'";
+        return false;
+      }
+      continue;
+    }
+    if (ParseFlag(argc, argv, &i, "wait", &value)) {
+      if (!ParseDoubleText(value, &args->wait) || args->wait <= 0.0) {
+        *error = "--wait: expected a positive number of seconds, got '" +
+                 value + "'";
+        return false;
+      }
+      continue;
+    }
+    if (argv[i][0] != '-') {
+      // Positional operands: `grgad query` request lines (rejected by every
+      // other command in Main).
+      args->requests.push_back(argv[i]);
+      continue;
+    }
     *error = std::string("unknown flag: ") + argv[i];
     return false;
   }
@@ -245,7 +288,26 @@ void PrintUsage() {
       "                [--json PATH] [--threads=N] [--timeout=SECONDS]\n"
       "                [--quiet] [--profile]\n"
       "      Re-score saved artifacts with a different detector — no "
-      "re-training.\n\n"
+      "re-training.\n"
+      "  grgad serve --dataset=NAME [--in DIR] [--socket PATH]\n"
+      "              [--detector=ecod] [--seed=42] [--set key=value ...]\n"
+      "              [--max-queue=64] [--timeout=SECONDS]\n"
+      "              [--metrics-out PATH] [--threads=N] [--quiet]\n"
+      "      Resident daemon over newline-delimited JSON. Loads the "
+      "dataset\n"
+      "      once, loads --in artifacts (or trains them), prewarms "
+      "workspace\n"
+      "      pools (--set serve.prewarm_workspaces=N), then batches\n"
+      "      anchor-score / rescore / what-if / stats / shutdown requests.\n"
+      "      --socket listens on a unix socket (accepting one client after\n"
+      "      another); without it the session runs on stdin/stdout. "
+      "--timeout\n"
+      "      is the default per-request deadline; SIGTERM drains and exits "
+      "0.\n"
+      "  grgad query --socket PATH [--wait 15] 'JSON' ['JSON' ...]\n"
+      "      Client for serve: waits up to --wait seconds for the daemon,\n"
+      "      sends each request line, prints one response line per "
+      "request.\n\n"
       "--timeout=SECONDS arms a run deadline polled at every stage\n"
       "boundary, training epoch, and anchor chunk; an expired deadline\n"
       "unwinds cleanly and exits with code 124 (timeout(1) convention).\n"
@@ -501,9 +563,13 @@ int CmdRescore(const Args& args) {
                  args.detector.c_str());
     return 2;
   }
-  // Transient read failures retry; corruption (kDataLoss) and missing dirs
-  // surface immediately — DefaultRetryable only passes kIoError.
+  // Transient read failures retry; corruption (kDataLoss) surfaces
+  // immediately. NotFound also retries (ArtifactLoadRetryable): a writer
+  // committing a concurrent save renames the directory away for an instant,
+  // and treating that blip as fatal made rescore flaky next to a running
+  // `grgad run --out` on the same directory.
   Retryer load_retryer{RetryPolicy{}};
+  load_retryer.set_retryable(ArtifactLoadRetryable);
   auto loaded = load_retryer.RunResult<PipelineArtifacts>(
       [&] { return LoadArtifacts(args.in_dir); });
   if (!loaded.ok()) return FailWith(args, "rescore", loaded.status());
@@ -550,6 +616,159 @@ int CmdRescore(const Args& args) {
   return EmitJson(args, json);
 }
 
+int CmdServe(const Args& args) {
+  if (args.dataset.empty()) {
+    std::fprintf(stderr, "error: serve requires --dataset=NAME\n");
+    return 2;
+  }
+  // A client that disconnects mid-response must surface as a write error on
+  // that response, never kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  DatasetOptions data_options;
+  data_options.seed = args.data_seed;
+  data_options.scale = args.scale;
+  data_options.attr_dim = args.attr_dim;
+  Retryer dataset_retryer{RetryPolicy{}};
+  auto dataset = dataset_retryer.RunResult<Dataset>(
+      [&] { return MakeDataset(args.dataset, data_options); });
+  if (!dataset.ok()) return FailWith(args, "serve", dataset.status());
+  const Dataset& d = dataset.value();
+
+  std::vector<std::string> overrides = args.overrides;
+  if (!args.detector.empty()) {
+    overrides.push_back("detector=" + args.detector);
+  }
+  auto options = BuildTpGrGadOptions(args.seed, overrides);
+  if (!options.ok()) return FailWith(args, "serve", options.status());
+
+  // Startup stop plumbing: a SIGTERM during the (possibly long) initial
+  // training unwinds exactly like `grgad run` — cooperatively, exit 130.
+  RunContext startup_ctx;
+  *GlobalCancelToken() = startup_ctx.cancel_token();
+  HookStopSignals(true);
+
+  PipelineArtifacts artifacts;
+  if (!args.in_dir.empty()) {
+    Retryer load_retryer{RetryPolicy{}};
+    load_retryer.set_retryable(ArtifactLoadRetryable);
+    auto loaded = load_retryer.RunResult<PipelineArtifacts>(
+        [&] { return LoadArtifacts(args.in_dir); });
+    if (!loaded.ok()) {
+      HookStopSignals(false);
+      return FailWith(args, "serve", loaded.status());
+    }
+    artifacts = std::move(loaded).value();
+    if (!args.quiet) {
+      std::fprintf(stderr, "serve: artifacts <- %s (%zu groups)\n",
+                   args.in_dir.c_str(), artifacts.candidate_groups.size());
+    }
+  } else {
+    if (!args.quiet) {
+      std::fprintf(stderr, "serve: training resident artifacts...\n");
+    }
+    auto trained = RunPipeline(d.graph, options.value(), &startup_ctx);
+    if (!trained.ok()) {
+      HookStopSignals(false);
+      return FailWith(args, "serve", trained.status());
+    }
+    artifacts = std::move(trained).value();
+  }
+
+  ServeOptions serve_options;
+  serve_options.pipeline = options.value();
+  serve_options.max_queue = static_cast<size_t>(args.max_queue);
+  serve_options.default_timeout_seconds = args.timeout;
+  ServeDaemon daemon(d.graph, std::move(artifacts), serve_options);
+  daemon.Prewarm();
+
+  // The serving stop token is fresh: SIGTERM from here on means "drain and
+  // exit 0", not "unwind with kCancelled".
+  CancelToken stop;
+  *GlobalCancelToken() = stop;
+
+  if (!args.socket_path.empty()) {
+    auto server = UnixServerSocket::Listen(args.socket_path);
+    if (!server.ok()) {
+      HookStopSignals(false);
+      return FailWith(args, "serve", server.status());
+    }
+    if (!args.quiet) {
+      std::fprintf(stderr, "serve: listening on %s\n",
+                   args.socket_path.c_str());
+    }
+    while (!stop.stop_requested() && !daemon.shutdown_requested()) {
+      auto client = server.value().Accept(&stop);
+      if (!client.ok()) {
+        HookStopSignals(false);
+        return FailWith(args, "serve", client.status());
+      }
+      if (client.value() < 0) break;  // Stop fired while waiting.
+      LineChannel channel(client.value(), client.value(), /*own_fds=*/true);
+      const Status session = daemon.Serve(&channel, stop);
+      if (!session.ok() && !args.quiet) {
+        std::fprintf(stderr, "serve: session ended: %s\n",
+                     session.ToString().c_str());
+      }
+    }
+  } else {
+    LineChannel channel(STDIN_FILENO, STDOUT_FILENO, /*own_fds=*/false);
+    const Status session = daemon.Serve(&channel, stop);
+    if (!session.ok()) {
+      HookStopSignals(false);
+      return FailWith(args, "serve", session);
+    }
+  }
+  HookStopSignals(false);
+
+  if (!args.metrics_out.empty()) {
+    std::ofstream out(args.metrics_out, std::ios::trunc);
+    out << daemon.MetricsJson() << "\n";
+    if (!out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+    if (!args.quiet) {
+      std::fprintf(stderr, "serve: metrics -> %s\n", args.metrics_out.c_str());
+    }
+  }
+  if (!args.quiet) std::fprintf(stderr, "serve: drained, exiting\n");
+  return 0;  // Graceful drain — including SIGTERM — is success.
+}
+
+int CmdQuery(const Args& args) {
+  if (args.socket_path.empty() || args.requests.empty()) {
+    std::fprintf(stderr,
+                 "error: query requires --socket PATH and at least one "
+                 "positional JSON request\n");
+    return 2;
+  }
+  auto fd = ConnectUnixSocket(args.socket_path, args.wait);
+  if (!fd.ok()) return FailWith(args, "query", fd.status());
+  LineChannel channel(fd.value(), fd.value(), /*own_fds=*/true);
+  for (const std::string& request : args.requests) {
+    const Status written = channel.WriteLine(request);
+    if (!written.ok()) return FailWith(args, "query", written);
+  }
+  // The daemon answers in admission order, one line per request.
+  for (size_t i = 0; i < args.requests.size(); ++i) {
+    std::string line;
+    bool eof = false;
+    const Status read = channel.ReadLine(&line, &eof);
+    if (!read.ok()) return FailWith(args, "query", read);
+    if (eof) {
+      return FailWith(args, "query",
+                      Status::IoError("daemon closed the connection after " +
+                                      std::to_string(i) + " of " +
+                                      std::to_string(args.requests.size()) +
+                                      " responses"));
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Args args;
   std::string error;
@@ -567,9 +786,17 @@ int Main(int argc, char** argv) {
       return 2;
     }
   }
+  if (args.command != "query" && !args.requests.empty()) {
+    std::fprintf(stderr, "error: unexpected operand '%s'\n\n",
+                 args.requests.front().c_str());
+    PrintUsage();
+    return 2;
+  }
   if (args.command == "list") return CmdList();
   if (args.command == "run") return CmdRun(args);
   if (args.command == "rescore") return CmdRescore(args);
+  if (args.command == "serve") return CmdServe(args);
+  if (args.command == "query") return CmdQuery(args);
   if (args.command == "help" || args.command == "--help") {
     PrintUsage();
     return 0;
