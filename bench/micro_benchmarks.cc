@@ -3,12 +3,14 @@
 // training epoch. These are throughput references, not paper figures.
 //
 // Before the google-benchmark suites run, main() compares seed vs optimized
-// on four axes — end-to-end training epochs, the candidate stage (frozen
+// on six axes — end-to-end training epochs, the candidate stage (frozen
 // serial sampler/pattern/augment paths vs the workspace/view fast path),
 // the scoring stage (frozen seed detectors vs the GEMM/parallel fast path),
-// and the tensor kernels on the training-hot shapes — and writes the
-// results to bench_results/micro.json (schema in PERF.md), giving every PR
-// a machine-readable before/after perf trajectory.
+// the tensor kernels on the training-hot shapes, the resident daemon's
+// round-trip latency, and the mutation fast path (slack-CSR apply, ball
+// invalidation, dirty-anchor incremental refresh vs full recompute) — and
+// writes the results to bench_results/micro.json (schema in PERF.md),
+// giving every PR a machine-readable before/after perf trajectory.
 // Set GRGAD_MICRO_JSON=0 to skip that phase, and GRGAD_MICRO_JSON_ONLY=1 to
 // run only it.
 #include <benchmark/benchmark.h>
@@ -19,13 +21,16 @@
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/core/refresh.h"
 #include "src/data/example_graph.h"
 #include "src/gae/gae_base.h"
+#include "src/graph/dynamic_graph.h"
 #include "src/gcl/augmentations.h"
 #include "src/gcl/tpgcl.h"
 #include "src/graph/algorithms.h"
@@ -33,6 +38,7 @@
 #include "src/graph/operators.h"
 #include "src/graph/subgraph_view.h"
 #include "src/graph/traversal_workspace.h"
+#include "src/sampling/dirty_tracker.h"
 #include "src/sampling/group_sampler.h"
 #include "src/od/ecod.h"
 #include "src/od/iforest.h"
@@ -318,7 +324,7 @@ std::vector<KernelResult> CompareKernels() {
 
 // ---------------------------------------------------------------------------
 // Candidate-stage comparison (frozen serial Alg. 1/Alg. 2 paths vs the
-// anchor-parallel workspace/view fast path) -> the grgad-micro-v5
+// anchor-parallel workspace/view fast path) -> the grgad-micro-v6
 // "candidates" table.
 // ---------------------------------------------------------------------------
 
@@ -729,6 +735,179 @@ std::vector<ServeResult> MeasureServeRoundTrip() {
   return results;
 }
 
+// ---------------------------------------------------------------------------
+// Mutation fast path: apply / invalidate / incremental refresh on a live
+// DynamicGraph vs what serving paid before it (a from-scratch CSR rebuild
+// per mutation; a full-anchor resample + embed + score per refresh) -> the
+// "mutations" table. Radius-local sampler options (hop-count search,
+// pair_radius = cycle_max_len = 4) so ball invalidation is sound and a
+// single-edge mutation dirties a small anchor subset.
+// ---------------------------------------------------------------------------
+
+struct MutationResult {
+  std::string name;
+  std::string shape;
+  double seed_ms = 0.0;  ///< Pre-PR path; 0 = no seed comparison (no gate).
+  double opt_ms = 0.0;
+  double fanout = -1.0;  ///< Mean dirty anchors per mutation; -1 = n/a.
+};
+
+std::vector<MutationResult> MeasureMutations() {
+  std::vector<MutationResult> results;
+  const Graph g = BenchGraph(8000, 33);
+  // Serving-shaped refresh configuration: every node is an anchor (per-node
+  // anomaly coverage, the dense end of what a daemon hosts), candidate
+  // search is radius-3 local, and the scored group set is capped. This is
+  // the regime the dirty-anchor machinery exists for — a full recompute
+  // resamples all 8000 anchors while one edge flip dirties only the ~190
+  // anchors whose radius-3 ball the edge touches.
+  std::vector<int> anchors(g.num_nodes());
+  std::iota(anchors.begin(), anchors.end(), 0);
+  TpGrGadOptions options;
+  options.seed = 29;
+  options.sampler.path_mode = PathSearchMode::kUnweighted;
+  options.sampler.pair_radius = 3;
+  options.sampler.cycle_max_len = 3;
+  options.sampler.max_paths_per_anchor = 4;
+  options.sampler.max_cycles_per_anchor = 4;
+  options.sampler.max_group_size = 16;
+  options.sampler.max_groups = 128;
+  options.ReseedStages();
+  const int radius = InvalidationRadius(options.sampler);
+
+  // A deterministic absent edge to churn throughout.
+  Rng rng(3);
+  int mu = -1, mv = -1;
+  while (mu < 0) {
+    const int a = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(g.num_nodes())));
+    const int b = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(g.num_nodes())));
+    if (a != b && !g.HasEdge(a, b)) {
+      mu = std::min(a, b);
+      mv = std::max(a, b);
+    }
+  }
+
+  auto print = [](const MutationResult& r) {
+    if (r.seed_ms > 0.0) {
+      std::printf("  %-24s %-24s seed %8.3f ms   opt %8.3f ms   %.2fx\n",
+                  r.name.c_str(), r.shape.c_str(), r.seed_ms, r.opt_ms,
+                  r.seed_ms / (r.opt_ms > 0.0 ? r.opt_ms : 1e-9));
+    } else {
+      std::printf("  %-24s %-24s                  opt %8.3f ms\n",
+                  r.name.c_str(), r.shape.c_str(), r.opt_ms);
+    }
+  };
+
+  // apply_edge: one add+remove round trip on the slack CSR vs the pre-PR
+  // equivalent, a from-scratch GraphBuilder rebuild of the mutated graph.
+  {
+    DynamicGraph dg(g);
+    MutationResult r;
+    r.name = "apply_edge";
+    r.shape = "n=8000";
+    r.seed_ms = MedianMs([&] {
+      GraphBuilder b(g.num_nodes());
+      g.ForEachEdge([&b](int u, int v) { b.AddEdge(u, v); });
+      b.AddEdge(mu, mv);
+      benchmark::DoNotOptimize(b.Build(g.attributes()));
+    });
+    r.opt_ms = MedianMs([&] {
+      dg.AddEdge(mu, mv);
+      dg.RemoveEdge(mu, mv);
+    });
+    print(r);
+    results.push_back(std::move(r));
+  }
+
+  // invalidate: one radius-R ball mark from the mutated edge.
+  {
+    DynamicGraph dg(g);
+    dg.AddEdge(mu, mv);
+    AnchorDirtyTracker tracker;
+    tracker.Reset(anchors, radius, g.num_nodes());
+    MutationResult r;
+    r.name = "invalidate";
+    r.shape = "n=8000,anchors=8000,r=3";
+    int fanout = 0;
+    r.opt_ms = MedianMs([&] {
+      fanout = tracker.MarkFromEdge(dg, mu, mv);
+      benchmark::DoNotOptimize(fanout);
+    });
+    r.fanout = static_cast<double>(fanout);
+    print(r);
+    std::printf("  %-24s invalidation fanout: %d of %zu anchors\n", "",
+                fanout, anchors.size());
+    results.push_back(std::move(r));
+  }
+
+  // refresh: apply + invalidate + dirty-subset refresh on a primed state vs
+  // the pre-PR cost of the same request — a full-anchor resample + pooled
+  // embed + score of the mutated graph (RefreshArtifacts on an unprimed
+  // state; conservative, since pre-PR serving also re-trained TPGCL).
+  {
+    DynamicGraph dg(g);
+    RefreshState state;
+    PipelineArtifacts artifacts;
+    artifacts.seed = options.seed;
+    artifacts.anchors = anchors;
+    const Status primed = RefreshArtifacts(g, options, {}, &state, &artifacts);
+    if (!primed.ok()) {
+      std::printf("  !! mutation bench priming failed: %s\n",
+                  primed.ToString().c_str());
+      return results;
+    }
+    AnchorDirtyTracker tracker;
+    tracker.Reset(anchors, radius, g.num_nodes());
+
+    MutationResult r;
+    r.name = "refresh";
+    r.shape = "n=8000,anchors=8000,r=3";
+    bool add_next = true;
+    double fanout_total = 0.0;
+    int refreshes = 0;
+    r.opt_ms = MedianMs([&] {
+      // Toggle the edge so every sample mutates (adds mark after applying,
+      // removes before — the tracker's soundness contract).
+      if (add_next) {
+        dg.AddEdge(mu, mv);
+        tracker.MarkFromEdge(dg, mu, mv);
+      } else {
+        tracker.MarkFromEdge(dg, mu, mv);
+        dg.RemoveEdge(mu, mv);
+      }
+      add_next = !add_next;
+      const std::vector<int> dirty = tracker.TakeDirtyIndices();
+      fanout_total += static_cast<double>(dirty.size());
+      ++refreshes;
+      const Status status =
+          RefreshArtifacts(dg.PackedView(), options, dirty, &state,
+                           &artifacts);
+      if (!status.ok()) {
+        std::printf("  !! incremental refresh failed: %s\n",
+                    status.ToString().c_str());
+      }
+    });
+    r.fanout = refreshes > 0 ? fanout_total / refreshes : -1.0;
+    r.seed_ms = MedianMs([&] {
+      RefreshState full_state;
+      PipelineArtifacts full;
+      full.seed = options.seed;
+      full.anchors = anchors;
+      const Status status =
+          RefreshArtifacts(dg.PackedView(), options, {}, &full_state, &full);
+      if (!status.ok()) {
+        std::printf("  !! full refresh failed: %s\n",
+                    status.ToString().c_str());
+      }
+    });
+    print(r);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
 void WriteMicroJson() {
   // Epochs are measured FIRST, on a cold allocator: glibc's trim/mmap
   // thresholds ratchet up under the kernel benchmarks' large blocks, after
@@ -753,6 +932,10 @@ void WriteMicroJson() {
   std::printf("Serve round-trip (resident daemon, rescore over a local "
               "pipe), GRGAD_THREADS=%d\n", ParallelismDegree());
   const std::vector<ServeResult> serve = MeasureServeRoundTrip();
+  std::printf("Mutation fast path (slack-CSR apply / ball invalidation / "
+              "incremental refresh vs full recompute), GRGAD_THREADS=%d\n",
+              ParallelismDegree());
+  const std::vector<MutationResult> mutations = MeasureMutations();
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
   const char* path = "bench_results/micro.json";
@@ -762,7 +945,7 @@ void WriteMicroJson() {
     return;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"grgad-micro-v5\",\n");
+  std::fprintf(f, "  \"schema\": \"grgad-micro-v6\",\n");
   std::fprintf(f, "  \"threads\": %d,\n", ParallelismDegree());
   std::fprintf(f, "  \"candidates\": [\n");
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -829,6 +1012,23 @@ void WriteMicroJson() {
                  "\"min_ms\": %.6f, \"round_trips\": %d}%s\n",
                  r.name.c_str(), r.mean_ms, r.min_ms, r.round_trips,
                  i + 1 < serve.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"mutations\": [\n");
+  for (size_t i = 0; i < mutations.size(); ++i) {
+    const MutationResult& r = mutations[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"shape\": \"%s\"",
+                 r.name.c_str(), r.shape.c_str());
+    if (r.seed_ms > 0.0) {
+      std::fprintf(f, ", \"seed_ms\": %.6f", r.seed_ms);
+    }
+    std::fprintf(f, ", \"opt_ms\": %.6f", r.opt_ms);
+    if (r.seed_ms > 0.0) {
+      std::fprintf(f, ", \"speedup\": %.3f",
+                   r.seed_ms / (r.opt_ms > 0.0 ? r.opt_ms : 1e-9));
+    }
+    if (r.fanout >= 0.0) std::fprintf(f, ", \"fanout\": %.2f", r.fanout);
+    std::fprintf(f, "}%s\n", i + 1 < mutations.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

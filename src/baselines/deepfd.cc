@@ -98,7 +98,8 @@ std::vector<ScoredGroup> DeepFd::DetectGroups(const Graph& g) const {
 
   // Pairs: edges (similar) + sampled non-edges (dissimilar).
   std::vector<std::pair<int, int>> pairs;
-  for (const auto& [u, v] : g.Edges()) pairs.emplace_back(u, v);
+  pairs.reserve(static_cast<size_t>(g.num_edges()));
+  g.ForEachEdge([&pairs](int u, int v) { pairs.emplace_back(u, v); });
   if (pairs.size() > options_.max_pairs / 2) {
     pairs.resize(options_.max_pairs / 2);
   }

@@ -11,7 +11,7 @@ Status SaveEdgeList(const Graph& g, const std::string& path) {
   if (!f.is_open()) return Status::IoError("cannot open: " + path);
   f << "# grgad edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
     << " edges\n";
-  for (const auto& [u, v] : g.Edges()) f << u << " " << v << "\n";
+  g.ForEachEdge([&f](int u, int v) { f << u << " " << v << "\n"; });
   if (!f.good()) return Status::IoError("write failed: " + path);
   return Status::Ok();
 }

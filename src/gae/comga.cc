@@ -52,7 +52,8 @@ std::vector<double> ComGa::FitNodeScores(const Graph& g) const {
   // Structure pairs: adjacency entries + negatives (shared GAE recipe).
   const SparseMatrix adj = AdjacencyMatrix(g);
   std::vector<std::pair<int, int>> pairs;
-  for (const auto& [u, v] : g.Edges()) pairs.emplace_back(u, v);
+  pairs.reserve(static_cast<size_t>(g.num_edges()));
+  g.ForEachEdge([&pairs](int u, int v) { pairs.emplace_back(u, v); });
   const size_t num_pos = pairs.size();
   size_t added = 0, guard = 0;
   const size_t num_neg =

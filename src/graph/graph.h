@@ -92,6 +92,9 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  /// DynamicGraph splices edge deltas into its cached packed view in place
+  /// (src/graph/dynamic_graph.cc) instead of paying a full rebuild.
+  friend class DynamicGraph;
 
   int num_nodes_ = 0;
   std::vector<int> offsets_;  // length num_nodes_+1

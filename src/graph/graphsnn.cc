@@ -70,15 +70,31 @@ std::vector<double> GraphSnnEdgeWeights(const Graph& g, double lambda) {
     weights[e] = ne / (nv * (nv - 1.0)) * std::pow(nv, lambda);
   };
   if (ScoringFastPathEnabled()) {
-    // The chunked pool loop needs random access by edge index, so this
-    // path materializes the edge list once.
-    const auto edges = g.Edges();
-    ParallelFor(edges.size(), 32, [&](size_t begin, size_t end) {
-      OverlapScratch scratch;
-      for (size_t e = begin; e < end; ++e) {
-        weigh_edge(e, edges[e].first, edges[e].second, &scratch);
-      }
-    });
+    // Chunked pool loop keyed by node: node u's up-edges (v > u) occupy a
+    // consecutive index range in Edges() order, so an O(n) prefix sum over
+    // per-node up-degrees replaces the materialized O(E) pair vector —
+    // each worker streams its nodes' rows straight off the CSR. Writes go
+    // to distinct weights[e] slots and the per-edge arithmetic is
+    // untouched, so the bitwise contract above still holds.
+    std::vector<size_t> up_offset(static_cast<size_t>(g.num_nodes()) + 1, 0);
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      auto nb = g.Neighbors(u);
+      up_offset[u + 1] =
+          up_offset[u] +
+          static_cast<size_t>(nb.end() -
+                              std::upper_bound(nb.begin(), nb.end(), u));
+    }
+    ParallelFor(static_cast<size_t>(g.num_nodes()), 8,
+                [&](size_t begin, size_t end) {
+                  OverlapScratch scratch;
+                  for (size_t un = begin; un < end; ++un) {
+                    const int u = static_cast<int>(un);
+                    size_t e = up_offset[un];
+                    for (int v : g.Neighbors(u)) {
+                      if (v > u) weigh_edge(e++, u, v, &scratch);
+                    }
+                  }
+                });
   } else {
     // Serial: stream edges straight off the CSR (Edges() order).
     OverlapScratch scratch;

@@ -1,0 +1,64 @@
+#include "src/sampling/dirty_tracker.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace grgad {
+
+bool IncrementalInvalidationSound(const GroupSamplerOptions& options) {
+  return options.path_mode == PathSearchMode::kUnweighted;
+}
+
+int InvalidationRadius(const GroupSamplerOptions& options) {
+  return std::max(options.pair_radius, options.cycle_max_len);
+}
+
+void AnchorDirtyTracker::Reset(const std::vector<int>& anchors, int radius,
+                               int num_nodes) {
+  radius_ = radius;
+  all_dirty_ = false;
+  dirty_count_ = 0;
+  dirty_.assign(anchors.size(), 0);
+  anchor_index_of_.assign(static_cast<size_t>(num_nodes), -1);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    // Out-of-range anchors (artifacts that disagree with the graph) can
+    // never be ball-marked; they still refresh via the unprimed full pass.
+    if (anchors[i] >= 0 && anchors[i] < num_nodes) {
+      anchor_index_of_[anchors[i]] = static_cast<int>(i);
+    }
+  }
+  stamp_.assign(static_cast<size_t>(num_nodes), 0);
+  epoch_ = 0;
+}
+
+void AnchorDirtyTracker::MarkAll() {
+  all_dirty_ = true;
+  std::fill(dirty_.begin(), dirty_.end(), 1);
+  dirty_count_ = dirty_.size();
+}
+
+std::vector<int> AnchorDirtyTracker::TakeDirtyIndices() {
+  std::vector<int> indices;
+  indices.reserve(dirty_count_);
+  if (all_dirty_) {
+    indices.resize(dirty_.size());
+    std::iota(indices.begin(), indices.end(), 0);
+  } else {
+    for (size_t i = 0; i < dirty_.size(); ++i) {
+      if (dirty_[i]) indices.push_back(static_cast<int>(i));
+    }
+  }
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  dirty_count_ = 0;
+  all_dirty_ = false;
+  return indices;
+}
+
+void AnchorDirtyTracker::EnsureNodeCapacity(int num_nodes) {
+  if (static_cast<size_t>(num_nodes) > stamp_.size()) {
+    stamp_.resize(static_cast<size_t>(num_nodes), 0);
+    anchor_index_of_.resize(static_cast<size_t>(num_nodes), -1);
+  }
+}
+
+}  // namespace grgad

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <numeric>
 #include <span>
+#include <utility>
 
 #include "src/graph/algorithms.h"
 #include "src/graph/graphsnn.h"
@@ -171,6 +172,68 @@ void SampleAnchor(const Graph& g, const GroupSamplerOptions& options,
   }
 }
 
+/// Open-addressed exact-duplicate filter over normalized candidate groups.
+/// Replaces the merge's std::set: keys live in the output vector itself
+/// (the table stores indices into it), so admitting N candidates costs N
+/// hash probes plus the output pushes — no per-distinct-candidate tree-node
+/// allocation, the last per-call red-black-tree growth on the hot path.
+/// First-occurrence admit order is preserved, which is what the bitwise
+/// seed==fast contract hangs on.
+class FlatGroupSet {
+ public:
+  /// `expected` pre-sizes the table so a normal admit sequence never
+  /// rehashes (capacity = next power of two above 2x expected).
+  explicit FlatGroupSet(size_t expected) {
+    size_t cap = 16;
+    while (cap < 2 * (expected + 1)) cap <<= 1;
+    slots_.assign(cap, kEmpty);
+  }
+
+  /// Appends `group` to `out` iff no equal group was admitted before.
+  template <typename G>
+  void Admit(G&& group, std::vector<std::vector<int>>* out) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) Rehash(*out);
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(group) & mask;
+    while (slots_[i] != kEmpty) {
+      if ((*out)[slots_[i]] == group) return;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = static_cast<uint32_t>(out->size());
+    out->push_back(std::forward<G>(group));
+    ++size_;
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  /// FNV-1a over the group's node ids. Groups are sorted by normalization,
+  /// so equal node sets hash (and compare) equal.
+  static uint64_t Hash(const std::vector<int>& group) {
+    uint64_t h = 14695981039346656037ULL;
+    for (int v : group) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  void Rehash(const std::vector<std::vector<int>>& out) {
+    std::vector<uint32_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    const size_t mask = slots_.size() - 1;
+    for (uint32_t idx : old) {
+      if (idx == kEmpty) continue;
+      size_t i = Hash(out[idx]) & mask;
+      while (slots_[i] != kEmpty) i = (i + 1) & mask;
+      slots_[i] = idx;
+    }
+  }
+
+  std::vector<uint32_t> slots_;  ///< Index-into-out slots; kEmpty = vacant.
+  size_t size_ = 0;
+};
+
 /// The sampler's weighted-search workspace pool: these instances carry the
 /// worst-case Dijkstra-heap reserve, so they are kept apart from the
 /// shared Global() pool whose BFS-only users never need it.
@@ -219,8 +282,27 @@ std::vector<std::vector<int>> GroupSampler::Sample(
 std::vector<std::vector<int>> GroupSampler::SampleFast(
     const Graph& g, const std::vector<int>& anchors,
     SampleTelemetry* telemetry) const {
+  // The fast path IS resample-everything + finalize: the incremental
+  // refresh path reuses the exact same two stages with a smaller index set,
+  // which is why its merged output can be bitwise identical to this one.
+  std::vector<int> all(anchors.size());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<std::vector<std::vector<int>>> per_anchor;
+  ResampleAnchors(g, anchors, all, &per_anchor, telemetry);
+  return FinalizeCandidates(g, anchors, per_anchor, telemetry);
+}
+
+void GroupSampler::ResampleAnchors(
+    const Graph& g, const std::vector<int>& anchors,
+    const std::vector<int>& anchor_indices,
+    std::vector<std::vector<std::vector<int>>>* per_anchor,
+    SampleTelemetry* telemetry) const {
   Timer phase_timer;
   for (int a : anchors) GRGAD_CHECK(a >= 0 && a < g.num_nodes());
+  for (int idx : anchor_indices) {
+    GRGAD_CHECK(idx >= 0 && idx < static_cast<int>(anchors.size()));
+  }
+  per_anchor->resize(anchors.size());
 
   const std::vector<double> snn_costs = SnnPathCosts(g, options_);
   const bool use_attr_paths =
@@ -255,30 +337,38 @@ std::vector<std::vector<int>> GroupSampler::SampleFast(
   // workspace, and BFS-only workspaces never carry it). Chunk partitioning
   // never changes per-anchor results, so the merge below is bitwise
   // identical at any GRGAD_THREADS. ---
-  std::vector<std::vector<std::vector<int>>> per_anchor(anchors.size());
   TraversalWorkspacePool& bfs_pool = TraversalWorkspacePool::Global();
   TraversalWorkspacePool& weighted_pool = WeightedPool();
   bfs_pool.Prewarm(ParallelismDegree(), g.num_nodes());
   weighted_pool.Prewarm(
       ParallelismDegree(), g.num_nodes(),
       use_attr_paths ? static_cast<size_t>(g.num_adj_slots()) + 1 : 0);
-  ParallelFor(anchors.size(), 1, [&](size_t begin, size_t end) {
+  ParallelFor(anchor_indices.size(), 1, [&](size_t begin, size_t end) {
     TraversalWorkspacePool::Lease bfs_ws = bfs_pool.Acquire();
     TraversalWorkspacePool::Lease alt_ws = weighted_pool.Acquire();
-    for (size_t ai = begin; ai < end; ++ai) {
+    for (size_t i = begin; i < end; ++i) {
       // Stop poll per anchor: a fired token (deadline, cancel) abandons the
       // remaining chunk; the caller sees stop_requested() and discards the
       // partial result, so skipped anchors never surface.
       if (options_.cancel.stop_requested()) return;
-      SampleAnchor(g, options_, anchors, static_cast<int>(ai), use_attr_paths,
-                   slot_costs, snn_costs, bfs_ws.get(), alt_ws.get(),
-                   &per_anchor[ai]);
+      const int ai = anchor_indices[i];
+      std::vector<std::vector<int>>& list = (*per_anchor)[ai];
+      list.clear();
+      SampleAnchor(g, options_, anchors, ai, use_attr_paths, slot_costs,
+                   snn_costs, bfs_ws.get(), alt_ws.get(), &list);
     }
   });
   if (telemetry != nullptr) {
     telemetry->search_seconds = phase_timer.ElapsedSeconds();
-    phase_timer.Reset();
   }
+}
+
+std::vector<std::vector<int>> GroupSampler::FinalizeCandidates(
+    const Graph& g, const std::vector<int>& anchors,
+    const std::vector<std::vector<std::vector<int>>>& per_anchor,
+    SampleTelemetry* telemetry) const {
+  Timer phase_timer;
+  GRGAD_CHECK_EQ(per_anchor.size(), anchors.size());
 
   // --- candidates/components: bridged connected components of the anchor
   // set (extension), workspace-backed. ---
@@ -309,25 +399,20 @@ std::vector<std::vector<int>> GroupSampler::SampleFast(
 
   // --- candidates/select: deterministic ascending-anchor merge. Replaying
   // the per-anchor candidate lists in anchor order through the global dedup
-  // reproduces the seed's single-threaded emission stream bit for bit. ---
+  // reproduces the seed's single-threaded emission stream bit for bit. The
+  // per-anchor lists are copied in, never consumed: the refresh path keeps
+  // them cached and replays this merge after every delta. ---
   size_t total = component_groups.size();
   for (const auto& list : per_anchor) total += list.size();
   std::vector<std::vector<int>> out;
   // Pre-reserve from the exact pre-dedup candidate count (dedup only
   // shrinks), instead of growing through repeated reallocation.
   out.reserve(total);
-  // Exact-duplicate filter. std::set is deliberate: insertion allocates one
-  // node per *distinct* candidate and never rehashes or reallocates, so
-  // admitting N candidates costs N ordered lookups + at most N node
-  // allocations, with stable iterators and no O(container) growth spikes.
-  std::set<std::vector<int>> seen;
-  auto admit = [&seen, &out](std::vector<int>&& group) {
-    if (seen.insert(group).second) out.push_back(std::move(group));
-  };
-  for (auto& list : per_anchor) {
-    for (auto& group : list) admit(std::move(group));
+  FlatGroupSet seen(total);
+  for (const auto& list : per_anchor) {
+    for (const auto& group : list) seen.Admit(group, &out);
   }
-  for (auto& group : component_groups) admit(std::move(group));
+  for (auto& group : component_groups) seen.Admit(std::move(group), &out);
   SubsampleIfOver(options_, &out);
   if (telemetry != nullptr) {
     telemetry->select_seconds = phase_timer.ElapsedSeconds();
@@ -340,12 +425,11 @@ std::vector<std::vector<int>> GroupSampler::SampleSeed(
     SampleTelemetry* telemetry) const {
   Timer phase_timer;
   std::vector<std::vector<int>> out;
-  std::set<std::vector<int>> seen;  // Exact-duplicate filter (see SampleFast).
-  // Same normalization helper as the fast path — the bitwise seed==fast
-  // contract hangs on the two paths sharing it.
+  FlatGroupSet seen(/*expected=*/64);  // Exact-duplicate filter; grows.
+  // Same normalization helper + dedup structure as the fast path — the
+  // bitwise seed==fast contract hangs on the two paths sharing them.
   auto emit = [&](std::vector<int> group) {
-    if (!NormalizeGroup(options_, &group)) return;
-    if (seen.insert(group).second) out.push_back(std::move(group));
+    if (NormalizeGroup(options_, &group)) seen.Admit(std::move(group), &out);
   };
 
   std::vector<uint8_t> is_anchor(g.num_nodes(), 0);

@@ -108,6 +108,31 @@ class GroupSampler {
                                        const std::vector<int>& anchors,
                                        SampleTelemetry* telemetry) const;
 
+  /// The fast path's per-anchor fan-out, restricted to `anchor_indices`:
+  /// recomputes the pre-dedup candidate lists of exactly those anchors into
+  /// (*per_anchor)[index] (the outer vector is resized to anchors.size();
+  /// entries of untouched anchors are preserved). This is the building
+  /// block the incremental-refresh path uses to re-sample only dirty
+  /// anchors while reusing cached lists for the clean ones —
+  /// ResampleAnchors over ALL indices followed by FinalizeCandidates is
+  /// exactly Sample()'s fast path, so a cached-plus-dirty merge is bitwise
+  /// identical to a from-scratch Sample() at any GRGAD_THREADS.
+  void ResampleAnchors(
+      const Graph& g, const std::vector<int>& anchors,
+      const std::vector<int>& anchor_indices,
+      std::vector<std::vector<std::vector<int>>>* per_anchor,
+      SampleTelemetry* telemetry = nullptr) const;
+
+  /// The fast path's tail over (possibly cached) per-anchor candidate
+  /// lists: the anchor-component extension, the deterministic
+  /// ascending-anchor dedup merge, and the seeded subsample. Pure over its
+  /// inputs — the per-anchor lists are copied, never consumed, so callers
+  /// can keep them cached across refreshes.
+  std::vector<std::vector<int>> FinalizeCandidates(
+      const Graph& g, const std::vector<int>& anchors,
+      const std::vector<std::vector<std::vector<int>>>& per_anchor,
+      SampleTelemetry* telemetry = nullptr) const;
+
   /// Releases the pooled traversal workspaces (the shared BFS pool and the
   /// sampler's weighted-search pool), dropping buffer capacity retained
   /// from the largest graph sampled so far. For long-lived processes

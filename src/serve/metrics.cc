@@ -83,12 +83,28 @@ void ServeMetrics::RecordRequest(const std::string& op, const Status& status,
   ++latency_buckets_[bucket];
   max_latency_ms_ = std::max(max_latency_ms_, ms);
   total_latency_ms_ += ms;
+  op_stats.total_ms += ms;
+}
+
+void ServeMetrics::RecordMutation(bool applied, int fanout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++mutations_;
+  if (applied) ++mutations_applied_;
+  fanout_total_ += static_cast<uint64_t>(fanout);
+  fanout_max_ = std::max(fanout_max_, static_cast<uint64_t>(fanout));
+}
+
+void ServeMetrics::RecordRefresh(size_t dirty, size_t reused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++refreshes_;
+  refreshed_anchors_ += dirty;
+  reused_anchors_ += reused;
 }
 
 std::string ServeMetrics::SnapshotJson(size_t queue_depth,
                                        const MatrixArena* arena) const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\"schema\": \"grgad-serve-metrics-v1\"";
+  std::string out = "{\"schema\": \"grgad-serve-metrics-v2\"";
 
   out += ", \"queue\": {\"capacity\": " + std::to_string(queue_capacity_) +
          ", \"depth\": " + std::to_string(queue_depth) +
@@ -111,6 +127,8 @@ std::string ServeMetrics::SnapshotJson(size_t queue_depth,
     out += std::to_string(stats.count);
     out += ", \"errors\": ";
     out += std::to_string(stats.errors);
+    out += ", \"total_ms\": ";
+    out += Num(stats.total_ms);
     out += "}";
   }
   out += "}}";
@@ -151,6 +169,14 @@ std::string ServeMetrics::SnapshotJson(size_t queue_depth,
     out += "}";
   }
   out += "}";
+
+  out += ", \"mutations\": {\"total\": " + std::to_string(mutations_) +
+         ", \"applied\": " + std::to_string(mutations_applied_) +
+         ", \"fanout_total\": " + std::to_string(fanout_total_) +
+         ", \"fanout_max\": " + std::to_string(fanout_max_) +
+         ", \"refreshes\": " + std::to_string(refreshes_) +
+         ", \"refreshed_anchors\": " + std::to_string(refreshed_anchors_) +
+         ", \"reused_anchors\": " + std::to_string(reused_anchors_) + "}";
 
   out += ", \"workspace\": {\"total_heap_allocs\": " +
          std::to_string(TraversalWorkspace::TotalHeapAllocs()) + "}";

@@ -6,9 +6,10 @@
 // request; the pipeline's own telemetry arrives for free via RunContext
 // stage timings). A `stats` request — or the --metrics-out dump at
 // shutdown — renders SnapshotJson(): one self-describing JSON object
-// ("grgad-serve-metrics-v1", schema documented in PERF.md) with queue
-// gauges, per-op request counts, batch-size stats, a log-spaced request
-// latency histogram, per-(sub-)stage wall-time aggregates, the shared
+// ("grgad-serve-metrics-v2", schema documented in PERF.md) with queue
+// gauges, per-op request counts + latency aggregates, batch-size stats, a
+// log-spaced request latency histogram, per-(sub-)stage wall-time
+// aggregates, mutation/invalidation-fanout/refresh counters, the shared
 // workspace/arena allocation counters, and a most-recent-batches timeline
 // ring (collector + timeline, not an unbounded log).
 #ifndef GRGAD_SERVE_METRICS_H_
@@ -47,10 +48,21 @@ class ServeMetrics {
 
   /// One request completed (ok or error) after `latency_seconds` from
   /// admission; `timings` carries the request's RunContext stage/sub-stage
-  /// brackets, folded into the per-stage aggregates.
+  /// brackets, folded into the per-stage aggregates. Latency also folds
+  /// into the per-op mean (the "per-op latency" counter of the mutation
+  /// fast path).
   void RecordRequest(const std::string& op, const Status& status,
                      double latency_seconds,
                      const std::vector<StageTiming>& timings);
+
+  /// One graph mutation executed: `applied` false for structural no-ops;
+  /// `fanout` is the invalidation fanout (anchors inside the mutation's
+  /// ball, or all anchors under the weighted-mode MarkAll fallback).
+  void RecordMutation(bool applied, int fanout);
+
+  /// One incremental refresh completed: `dirty` anchors re-sampled,
+  /// `reused` served from the cache.
+  void RecordRefresh(size_t dirty, size_t reused);
 
   /// The live snapshot. `queue_depth` is sampled by the caller (the queue
   /// owns it); `arena` contributes the shared warm-buffer stats (nullptr
@@ -61,6 +73,7 @@ class ServeMetrics {
   struct OpStats {
     uint64_t count = 0;
     uint64_t errors = 0;
+    double total_ms = 0.0;  ///< Per-op latency aggregate (mean = total/count).
   };
   struct StageStats {
     uint64_t count = 0;
@@ -93,6 +106,14 @@ class ServeMetrics {
   double total_latency_ms_ = 0.0;
   std::vector<BatchSample> timeline_;  ///< Ring, chronological modulo wrap.
   size_t timeline_next_ = 0;
+  // Mutation fast path (the "mutations" snapshot section):
+  uint64_t mutations_ = 0;
+  uint64_t mutations_applied_ = 0;
+  uint64_t fanout_total_ = 0;
+  uint64_t fanout_max_ = 0;
+  uint64_t refreshes_ = 0;
+  uint64_t refreshed_anchors_ = 0;
+  uint64_t reused_anchors_ = 0;
 };
 
 }  // namespace grgad

@@ -302,6 +302,10 @@ const char* ServeOpName(ServeOp op) {
     case ServeOp::kWhatIf: return "what-if";
     case ServeOp::kStats: return "stats";
     case ServeOp::kShutdown: return "shutdown";
+    case ServeOp::kAddEdge: return "add-edge";
+    case ServeOp::kRemoveEdge: return "remove-edge";
+    case ServeOp::kRefresh: return "refresh";
+    case ServeOp::kCompact: return "compact";
   }
   return "unknown";
 }
@@ -328,10 +332,15 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   else if (op->string == "what-if") request.op = ServeOp::kWhatIf;
   else if (op->string == "stats") request.op = ServeOp::kStats;
   else if (op->string == "shutdown") request.op = ServeOp::kShutdown;
+  else if (op->string == "add-edge") request.op = ServeOp::kAddEdge;
+  else if (op->string == "remove-edge") request.op = ServeOp::kRemoveEdge;
+  else if (op->string == "refresh") request.op = ServeOp::kRefresh;
+  else if (op->string == "compact") request.op = ServeOp::kCompact;
   else {
     return Status::InvalidArgument(
         "request: unknown op '" + op->string +
-        "' (anchor-score, rescore, what-if, stats, shutdown)");
+        "' (anchor-score, rescore, what-if, stats, shutdown, add-edge, "
+        "remove-edge, refresh, compact)");
   }
 
   for (const auto& [key, value] : root.object) {
@@ -380,16 +389,28 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
       }
       (key == "min_size" ? request.min_size : request.max_size) =
           static_cast<int>(size);
+    } else if (key == "u" || key == "v") {
+      int64_t node = 0;
+      if (!AsInt64(value, 0, INT64_MAX, &node)) {
+        return BadField(key.c_str(), "a non-negative node id");
+      }
+      (key == "u" ? request.u : request.v) = node;
     } else {
       return Status::InvalidArgument(
           "request: unknown field '" + key +
           "' (id, op, set, detector, seed, timeout, top, contains, "
-          "min_size, max_size)");
+          "min_size, max_size, u, v)");
     }
   }
 
   if (request.op == ServeOp::kRescore && request.detector.empty()) {
     return Status::InvalidArgument("request: rescore requires \"detector\"");
+  }
+  if ((request.op == ServeOp::kAddEdge || request.op == ServeOp::kRemoveEdge) &&
+      (request.u < 0 || request.v < 0)) {
+    return Status::InvalidArgument(
+        std::string("request: ") + ServeOpName(request.op) +
+        " requires \"u\" and \"v\"");
   }
   return request;
 }
@@ -412,6 +433,39 @@ std::string RenderScoredGroupsResponse(int64_t id, ServeOp op,
   std::string out = ResponseHead(id, ServeOpName(op), "ok");
   out += ", \"num_groups\": " + std::to_string(scored.size());
   out += ", \"top_groups\": " + TopGroups(scored, top);
+  out += "}";
+  return out;
+}
+
+std::string RenderMutationResponse(int64_t id, ServeOp op, bool applied,
+                                   int invalidated_anchors, int num_edges) {
+  std::string out = ResponseHead(id, ServeOpName(op), "ok");
+  out += std::string(", \"applied\": ") + (applied ? "true" : "false");
+  out += ", \"invalidated_anchors\": " + std::to_string(invalidated_anchors);
+  out += ", \"num_edges\": " + std::to_string(num_edges);
+  out += "}";
+  return out;
+}
+
+std::string RenderRefreshResponse(int64_t id, size_t refreshed_anchors,
+                                  size_t reused_anchors,
+                                  const std::vector<ScoredGroup>& scored,
+                                  int top) {
+  std::string out = ResponseHead(id, "refresh", "ok");
+  out += ", \"refreshed_anchors\": " + std::to_string(refreshed_anchors);
+  out += ", \"reused_anchors\": " + std::to_string(reused_anchors);
+  out += ", \"num_groups\": " + std::to_string(scored.size());
+  out += ", \"top_groups\": " + TopGroups(scored, top);
+  out += "}";
+  return out;
+}
+
+std::string RenderCompactResponse(int64_t id, int num_edges,
+                                  uint64_t compactions, size_t pending_log) {
+  std::string out = ResponseHead(id, "compact", "ok");
+  out += ", \"num_edges\": " + std::to_string(num_edges);
+  out += ", \"compactions\": " + std::to_string(compactions);
+  out += ", \"pending_log\": " + std::to_string(pending_log);
   out += "}";
   return out;
 }

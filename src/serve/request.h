@@ -17,6 +17,18 @@
 //       exists for. Detector defaults to the daemon's base detector.
 //   {"id": 4, "op": "stats"}       live metrics snapshot
 //   {"id": 5, "op": "shutdown"}    graceful drain + daemon exit
+//   {"id": 6, "op": "add-edge", "u": 17, "v": 42}
+//   {"id": 7, "op": "remove-edge", "u": 17, "v": 42}
+//       Live graph mutations: applied to the daemon's DynamicGraph through
+//       the same admission queue as queries (so mutate/query interleavings
+//       are exactly admission order), marking the anchors whose
+//       invalidation balls the edge touches. "applied" is false when the
+//       mutation was a no-op (duplicate edge, absent edge, bad ids).
+//   {"id": 8, "op": "refresh", "top": 5}
+//       Incremental artifact refresh: re-samples only the dirty anchors,
+//       merges with the cached lists, re-embeds (pooled) + re-scores.
+//   {"id": 9, "op": "compact"}
+//       Compacts the DynamicGraph's slack CSR and truncates its delta log.
 //
 // Responses echo {"id", "op", "status"} first; scoring responses carry
 // counts and "top_groups" with scores at 17 significant digits (exact
@@ -65,7 +77,17 @@ std::string JsonEscapeText(const std::string& s);
 
 // ---- requests ---------------------------------------------------------------
 
-enum class ServeOp { kAnchorScore, kRescore, kWhatIf, kStats, kShutdown };
+enum class ServeOp {
+  kAnchorScore,
+  kRescore,
+  kWhatIf,
+  kStats,
+  kShutdown,
+  kAddEdge,
+  kRemoveEdge,
+  kRefresh,
+  kCompact,
+};
 
 const char* ServeOpName(ServeOp op);
 
@@ -82,6 +104,9 @@ struct ServeRequest {
   int64_t contains_node = -1;    ///< -1 = no membership filter.
   int min_size = 0;              ///< 0 = unbounded.
   int max_size = 0;              ///< 0 = unbounded.
+  // add-edge / remove-edge endpoints (both required for those ops):
+  int64_t u = -1;
+  int64_t v = -1;
 };
 
 /// Parses and validates one request line. InvalidArgument on malformed
@@ -102,6 +127,24 @@ std::string RenderAnchorScoreResponse(int64_t id,
 std::string RenderScoredGroupsResponse(int64_t id, ServeOp op,
                                        const std::vector<ScoredGroup>& scored,
                                        int top);
+
+/// {"id", "op": "add-edge"|"remove-edge", "status": "ok", applied,
+///  invalidated_anchors, num_edges} for a graph mutation. `applied` false =
+///  structural no-op (duplicate / absent edge, bad ids).
+std::string RenderMutationResponse(int64_t id, ServeOp op, bool applied,
+                                   int invalidated_anchors, int num_edges);
+
+/// {"id", "op": "refresh", "status": "ok", refreshed_anchors,
+///  reused_anchors, num_groups, top_groups} for an incremental refresh.
+std::string RenderRefreshResponse(int64_t id, size_t refreshed_anchors,
+                                  size_t reused_anchors,
+                                  const std::vector<ScoredGroup>& scored,
+                                  int top);
+
+/// {"id", "op": "compact", "status": "ok", num_edges, compactions,
+///  pending_log} after a slack-CSR compaction.
+std::string RenderCompactResponse(int64_t id, int num_edges,
+                                  uint64_t compactions, size_t pending_log);
 
 /// {"id", "op", "status": "<StatusCodeName>", "error": "..."} — the
 /// per-request failure surface (deadline expiry, injected faults, bad

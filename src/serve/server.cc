@@ -37,10 +37,20 @@ ServeDaemon::ServeDaemon(const Graph& graph, PipelineArtifacts artifacts,
     : graph_(&graph),
       artifacts_(std::move(artifacts)),
       options_(std::move(options)),
-      metrics_(options_.max_queue) {}
+      dynamic_(graph),
+      metrics_(options_.max_queue) {
+  tracker_.Reset(artifacts_.anchors,
+                 InvalidationRadius(options_.pipeline.sampler),
+                 graph.num_nodes());
+}
 
 void ServeDaemon::Prewarm() {
   PrewarmPipelineState(*graph_, options_.pipeline);
+}
+
+int ServeDaemon::MarkAllAnchors() {
+  tracker_.MarkAll();
+  return static_cast<int>(tracker_.num_anchors());
 }
 
 std::string ServeDaemon::MetricsJson() const {
@@ -161,7 +171,9 @@ std::string ServeDaemon::Execute(const ServeRequest& request,
         // responses stay bitwise identical to an arena-less sequential run.
         options.mh_gae.base.arena = &arena_;
         options.tpgcl.arena = &arena_;
-        auto result = RunPipeline(*graph_, options, &ctx);
+        // The live view: before any mutation PackedView() is the cached
+        // host graph, after mutations it is the canonical repacked CSR.
+        auto result = RunPipeline(dynamic_.PackedView(), options, &ctx);
         if (!result.ok()) {
           status = result.status();
           response = RenderErrorResponse(request.id, request.op, status);
@@ -254,6 +266,67 @@ std::string ServeDaemon::Execute(const ServeRequest& request,
         response = "{\"id\": " + std::to_string(request.id) +
                    ", \"op\": \"shutdown\", \"status\": \"ok\", "
                    "\"draining\": true}";
+        break;
+      }
+      case ServeOp::kAddEdge:
+      case ServeOp::kRemoveEdge: {
+        bool applied = false;
+        int fanout = 0;
+        // Ids beyond int range cannot name a node; treat as a structural
+        // no-op rather than an error, matching DynamicGraph's semantics.
+        if (request.u <= INT32_MAX && request.v <= INT32_MAX) {
+          const int u = static_cast<int>(request.u);
+          const int v = static_cast<int>(request.v);
+          const bool sound =
+              IncrementalInvalidationSound(options_.pipeline.sampler);
+          if (request.op == ServeOp::kAddEdge) {
+            // Mark AFTER applying: the post-add balls cover every distance
+            // that shrank through the new edge.
+            applied = dynamic_.AddEdge(u, v);
+            if (applied) {
+              fanout = sound ? tracker_.MarkFromEdge(dynamic_, u, v)
+                             : MarkAllAnchors();
+            }
+          } else if (dynamic_.HasEdge(u, v)) {
+            // Mark BEFORE applying: the pre-remove balls still reach
+            // through the edge about to disappear.
+            fanout = sound ? tracker_.MarkFromEdge(dynamic_, u, v)
+                           : MarkAllAnchors();
+            applied = dynamic_.RemoveEdge(u, v);
+          }
+        }
+        metrics_.RecordMutation(applied, fanout);
+        response = RenderMutationResponse(request.id, request.op, applied,
+                                          fanout, dynamic_.num_edges());
+        break;
+      }
+      case ServeOp::kRefresh: {
+        const std::vector<int> dirty = tracker_.TakeDirtyIndices();
+        RefreshStats rstats;
+        status = RefreshArtifacts(dynamic_.PackedView(), options_.pipeline,
+                                  dirty, &refresh_state_, &artifacts_, &ctx,
+                                  &rstats);
+        if (!status.ok()) {
+          // The dirty marks were consumed but the refresh never landed;
+          // re-mark everything so the next refresh retries from scratch
+          // (RefreshArtifacts already unprimed its cache).
+          tracker_.MarkAll();
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        metrics_.RecordRefresh(rstats.dirty_anchors, rstats.reused_anchors);
+        response = RenderRefreshResponse(request.id, rstats.dirty_anchors,
+                                         rstats.reused_anchors,
+                                         artifacts_.scored_groups,
+                                         request.top);
+        break;
+      }
+      case ServeOp::kCompact: {
+        dynamic_.Compact();
+        const DynamicGraphStats dstats = dynamic_.stats();
+        response = RenderCompactResponse(request.id, dynamic_.num_edges(),
+                                         dstats.compactions,
+                                         dstats.pending_log);
         break;
       }
     }

@@ -11,6 +11,16 @@
 // points (RunPipeline / RescoreArtifacts / RunScoringStage) — one request
 // at a time, each internally parallel at full GRGAD_THREADS.
 //
+// Live mutations: the daemon owns a DynamicGraph seeded from the host
+// graph. add-edge/remove-edge requests mutate it through the same
+// admission queue as queries (so interleavings are exactly admission
+// order), an AnchorDirtyTracker marks the anchors whose invalidation balls
+// each mutation touches, and a refresh request re-samples only those
+// anchors (RefreshArtifacts), rewriting the resident artifacts in place.
+// Queries run on the DynamicGraph's canonical PackedView, so anchor-score
+// always sees the mutated graph. Single-threaded execution is what makes
+// unguarded mutation safe.
+//
 // Determinism: a response is a pure function of (request, resident
 // artifacts, base options) — batch items execute sequentially in admission
 // order on shared-but-value-neutral state (pools and arena recycle memory,
@@ -33,7 +43,10 @@
 #include <string>
 #include <vector>
 
+#include "src/core/refresh.h"
 #include "src/core/stages.h"
+#include "src/graph/dynamic_graph.h"
+#include "src/sampling/dirty_tracker.h"
 #include "src/serve/batcher.h"
 #include "src/serve/metrics.h"
 #include "src/serve/request.h"
@@ -54,8 +67,9 @@ struct ServeOptions {
 
 class ServeDaemon {
  public:
-  /// `graph` must outlive the daemon; `artifacts` is the trained resident
-  /// state rescore/what-if requests read.
+  /// `graph` must outlive the daemon (it seeds the live DynamicGraph);
+  /// `artifacts` is the trained resident state rescore/what-if requests
+  /// read and refresh rewrites.
   ServeDaemon(const Graph& graph, PipelineArtifacts artifacts,
               ServeOptions options);
 
@@ -84,6 +98,8 @@ class ServeDaemon {
 
   ServeMetrics& metrics() { return metrics_; }
   const PipelineArtifacts& artifacts() const { return artifacts_; }
+  /// The live graph (mutations land here; queries run on its PackedView).
+  const DynamicGraph& dynamic_graph() const { return dynamic_; }
 
   /// True once a shutdown request was executed; the owner's accept loop
   /// checks this between sessions.
@@ -94,9 +110,19 @@ class ServeDaemon {
  private:
   void ExecuteLoop(RequestQueue* queue, LineChannel* channel);
 
+  /// Weighted-path-mode fallback: ball invalidation is unsound there, so
+  /// every mutation dirties every anchor. Returns the fanout (all anchors).
+  int MarkAllAnchors();
+
   const Graph* graph_;
   PipelineArtifacts artifacts_;
   ServeOptions options_;
+  // The live-mutation state, all touched only from the executor thread:
+  // the slack-CSR graph, the ball-invalidation tracker over the resident
+  // anchors, and the refresh path's cached per-anchor candidate lists.
+  DynamicGraph dynamic_;
+  AnchorDirtyTracker tracker_;
+  RefreshState refresh_state_;
   MatrixArena arena_;  ///< Warm training buffers shared across requests.
   ServeMetrics metrics_;
   std::atomic<bool> shutdown_{false};

@@ -378,6 +378,88 @@ TEST(ServeTest, ParseServeRequestValidates) {
       ParseServeRequest(R"({"id": 1, "op": "rescore"})").ok());
 }
 
+TEST(ServeTest, ParseServeRequestMutationOps) {
+  auto add = ParseServeRequest(
+      R"({"id": 3, "op": "add-edge", "u": 4, "v": 19})");
+  ASSERT_TRUE(add.ok()) << add.status().ToString();
+  EXPECT_EQ(add.value().op, ServeOp::kAddEdge);
+  EXPECT_EQ(add.value().u, 4);
+  EXPECT_EQ(add.value().v, 19);
+
+  auto remove = ParseServeRequest(
+      R"({"id": 4, "op": "remove-edge", "u": 19, "v": 4})");
+  ASSERT_TRUE(remove.ok()) << remove.status().ToString();
+  EXPECT_EQ(remove.value().op, ServeOp::kRemoveEdge);
+
+  EXPECT_TRUE(ParseServeRequest(R"({"id": 5, "op": "refresh"})").ok());
+  EXPECT_TRUE(ParseServeRequest(R"({"id": 6, "op": "compact"})").ok());
+
+  // Both endpoints are required for the edge ops.
+  EXPECT_FALSE(ParseServeRequest(R"({"id": 7, "op": "add-edge"})").ok());
+  EXPECT_FALSE(
+      ParseServeRequest(R"({"id": 8, "op": "add-edge", "u": 2})").ok());
+  EXPECT_FALSE(
+      ParseServeRequest(R"({"id": 9, "op": "remove-edge", "v": 2})").ok());
+}
+
+TEST(ServeTest, MutationSessionRefreshesAndReportsMetrics) {
+  // QuickOptions uses the default weighted path mode, so mutations take the
+  // MarkAll fallback — every refresh is full, still exact.
+  auto daemon = MakeDaemon(QuickOptions());
+  const int n = TestDataset().graph.num_nodes();
+  int u = -1, v = -1;  // Some absent edge.
+  for (int a = 0; a < n && u < 0; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (!TestDataset().graph.HasEdge(a, b)) {
+        u = a;
+        v = b;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(u, 0);
+
+  const SessionResult session = RunSession(
+      daemon.get(),
+      {"{\"id\": 1, \"op\": \"add-edge\", \"u\": " + std::to_string(u) +
+           ", \"v\": " + std::to_string(v) + "}",
+       // Duplicate add: a structural no-op, answered applied=false.
+       "{\"id\": 2, \"op\": \"add-edge\", \"u\": " + std::to_string(u) +
+           ", \"v\": " + std::to_string(v) + "}",
+       R"({"id": 3, "op": "refresh", "top": 3})",
+       "{\"id\": 4, \"op\": \"remove-edge\", \"u\": " + std::to_string(u) +
+           ", \"v\": " + std::to_string(v) + "}",
+       R"({"id": 5, "op": "compact"})",
+       R"({"id": 6, "op": "stats"})"});
+  ASSERT_TRUE(session.transport.ok()) << session.transport.ToString();
+  ASSERT_EQ(session.responses.size(), 6u);
+  for (const std::string& response : session.responses) {
+    EXPECT_TRUE(ResponseOk(response)) << response;
+  }
+  EXPECT_NE(session.responses[0].find("\"applied\": true"), std::string::npos)
+      << session.responses[0];
+  EXPECT_NE(session.responses[1].find("\"applied\": false"),
+            std::string::npos)
+      << session.responses[1];
+  EXPECT_NE(session.responses[2].find("\"refreshed_anchors\""),
+            std::string::npos)
+      << session.responses[2];
+  EXPECT_NE(session.responses[4].find("\"pending_log\": 0"),
+            std::string::npos)
+      << session.responses[4];
+  // The metrics snapshot carries the v2 mutation counters.
+  EXPECT_NE(session.responses[5].find("\"grgad-serve-metrics-v2\""),
+            std::string::npos);
+  EXPECT_NE(session.responses[5].find("\"mutations\""), std::string::npos);
+  EXPECT_NE(session.responses[5].find("\"refreshes\": 1"), std::string::npos)
+      << session.responses[5];
+
+  // The mutations landed in the daemon's live graph.
+  EXPECT_EQ(daemon->dynamic_graph().num_edges(),
+            TestDataset().graph.num_edges());
+  EXPECT_EQ(daemon->dynamic_graph().stats().compactions, 1u);
+}
+
 TEST(ServeTest, ArtifactLoadRetryableClassifiesTheCommitWindow) {
   EXPECT_TRUE(ArtifactLoadRetryable(Status::IoError("transient open")));
   // The save path's two-rename commit can leave the directory briefly

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""CI gate over bench_results/micro.json (grgad-micro-v5).
+"""CI gate over bench_results/micro.json (grgad-micro-v6).
 
 Fails (exit 1) when:
-  - the schema is not grgad-micro-v5, or the candidates/kernels/scoring/
-    epochs/serve tables are missing or empty;
+  - the schema is not grgad-micro-v6, or the candidates/kernels/scoring/
+    epochs/serve/mutations tables are missing or empty;
   - the candidates table lacks any of the required seed-vs-opt entries
     (sampler, pattern_search, augment), or the sampler entry reports a
     nonzero steady-state workspace heap-allocation count;
@@ -11,20 +11,26 @@ Fails (exit 1) when:
     (pairwise, knn, lof, iforest, ecod, graphsnn);
   - the serve table lacks a round_trip entry with a positive mean_ms
     (the resident daemon answered every timed request);
+  - the mutations table lacks the apply_edge / invalidate / refresh
+    entries, or the refresh entry's incremental path is less than
+    REFRESH_SPEEDUP_FLOOR (10x) faster than the full recompute (the PR's
+    acceptance gate for dirty-anchor invalidation);
   - any candidates or scoring entry's optimized path regresses more than
     REGRESSION_LIMIT (1.5x) against its frozen seed baseline on the runner.
 
 The kernels/epochs tables are checked for presence only: their acceptable
 ratios are ISA-dependent (see PERF.md) and already tracked as uploaded
-artifacts, while the candidates and scoring tables are the gates their
-stage rebuilds own.
+artifacts, while the candidates, scoring, and mutations tables are the
+gates their stage rebuilds own.
 """
 import json
 import sys
 
 REGRESSION_LIMIT = 1.5
+REFRESH_SPEEDUP_FLOOR = 10.0
 REQUIRED_CANDIDATES = {"sampler", "pattern_search", "augment"}
 REQUIRED_SCORING = {"pairwise", "knn", "lof", "iforest", "ecod", "graphsnn"}
+REQUIRED_MUTATIONS = {"apply_edge", "invalidate", "refresh"}
 
 
 def check_gated_table(data, table, required, failures):
@@ -50,6 +56,41 @@ def check_gated_table(data, table, required, failures):
                 f" (limit {REGRESSION_LIMIT}x)")
 
 
+def check_mutations(data, failures):
+    entries = {entry.get("name"): entry for entry in data.get("mutations") or []}
+    for missing in sorted(REQUIRED_MUTATIONS - set(entries)):
+        failures.append(f"mutations table is missing entry {missing!r}")
+
+    for name, entry in entries.items():
+        opt_ms = entry.get("opt_ms")
+        if not isinstance(opt_ms, (int, float)) or opt_ms <= 0:
+            failures.append(
+                f"mutations entry {name!r} opt_ms = {opt_ms!r}, expected > 0")
+            continue
+        line = f"  mutations {name:<12} opt {opt_ms:9.3f} ms"
+        if isinstance(entry.get("speedup"), (int, float)):
+            line += (f"   seed {entry.get('seed_ms', 0.0):9.3f} ms"
+                     f"   {entry['speedup']:.2f}x")
+        if isinstance(entry.get("fanout"), (int, float)):
+            line += f"   fanout {entry['fanout']:.1f}"
+        print(line)
+
+    refresh = entries.get("refresh")
+    if refresh is not None:
+        speedup = refresh.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            failures.append("mutations refresh entry has no speedup")
+        elif speedup < REFRESH_SPEEDUP_FLOOR:
+            failures.append(
+                f"incremental refresh speedup {speedup:.2f}x is below the"
+                f" {REFRESH_SPEEDUP_FLOOR}x acceptance floor")
+        fanout = refresh.get("fanout")
+        if not isinstance(fanout, (int, float)) or fanout <= 0:
+            failures.append(
+                f"mutations refresh fanout = {fanout!r}, expected > 0"
+                f" (the mutation must dirty at least one anchor)")
+
+
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_results/micro.json"
     with open(path) as f:
@@ -57,15 +98,17 @@ def main() -> int:
 
     failures = []
     schema = data.get("schema")
-    if schema != "grgad-micro-v5":
-        failures.append(f"schema is {schema!r}, expected 'grgad-micro-v5'")
+    if schema != "grgad-micro-v6":
+        failures.append(f"schema is {schema!r}, expected 'grgad-micro-v6'")
 
-    for table in ("candidates", "kernels", "scoring", "epochs", "serve"):
+    for table in ("candidates", "kernels", "scoring", "epochs", "serve",
+                  "mutations"):
         if not data.get(table):
             failures.append(f"table {table!r} is missing or empty")
 
     check_gated_table(data, "candidates", REQUIRED_CANDIDATES, failures)
     check_gated_table(data, "scoring", REQUIRED_SCORING, failures)
+    check_mutations(data, failures)
 
     for entry in data.get("candidates") or []:
         if entry.get("name") != "sampler":
@@ -97,9 +140,10 @@ def main() -> int:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print(f"OK: {path} is grgad-micro-v5 with complete candidates/scoring/"
-          f"serve tables, 0 steady-state sampler workspace allocs, and no "
-          f"opt regression beyond {REGRESSION_LIMIT}x")
+    print(f"OK: {path} is grgad-micro-v6 with complete candidates/scoring/"
+          f"serve/mutations tables, 0 steady-state sampler workspace allocs, "
+          f"incremental refresh >= {REFRESH_SPEEDUP_FLOOR}x, and no opt "
+          f"regression beyond {REGRESSION_LIMIT}x")
     return 0
 
 

@@ -14,7 +14,8 @@
 //   grgad serve --dataset=example [--in artifacts/] [--socket PATH]
 //       Resident daemon: loads the dataset (and artifacts, or trains them)
 //       once, then answers newline-delimited JSON requests — anchor-score /
-//       rescore / what-if / stats / shutdown — over a unix socket or
+//       rescore / what-if / stats / shutdown, plus the live-mutation ops
+//       add-edge / remove-edge / refresh / compact — over a unix socket or
 //       stdin/stdout, batching queued requests per tick. SIGTERM drains
 //       in-flight requests and exits 0.
 //   grgad query --socket PATH 'JSON' ['JSON' ...]
@@ -298,7 +299,9 @@ void PrintUsage() {
       "      once, loads --in artifacts (or trains them), prewarms "
       "workspace\n"
       "      pools (--set serve.prewarm_workspaces=N), then batches\n"
-      "      anchor-score / rescore / what-if / stats / shutdown requests.\n"
+      "      anchor-score / rescore / what-if / stats / shutdown plus the\n"
+      "      live-mutation ops add-edge / remove-edge / refresh / compact\n"
+      "      (dirty-anchor incremental refresh over a mutable CSR).\n"
       "      --socket listens on a unix socket (accepting one client after\n"
       "      another); without it the session runs on stdin/stdout. "
       "--timeout\n"
