@@ -47,6 +47,7 @@
 #include "src/od/reference_detectors.h"
 #include "src/sampling/pattern_search.h"
 #include "src/serve/server.h"
+#include "src/serve/wal.h"
 #include "src/tensor/arena.h"
 #include "src/tensor/matrix.h"
 #include "src/tensor/reference_kernels.h"
@@ -324,7 +325,7 @@ std::vector<KernelResult> CompareKernels() {
 
 // ---------------------------------------------------------------------------
 // Candidate-stage comparison (frozen serial Alg. 1/Alg. 2 paths vs the
-// anchor-parallel workspace/view fast path) -> the grgad-micro-v6
+// anchor-parallel workspace/view fast path) -> the grgad-micro-v7
 // "candidates" table.
 // ---------------------------------------------------------------------------
 
@@ -908,6 +909,200 @@ std::vector<MutationResult> MeasureMutations() {
   return results;
 }
 
+// ---------------------------------------------------------------------------
+// Durability: WAL append / state snapshot / crash recovery on the same
+// serving-dense shape as the mutation table (n=8000, every node an anchor,
+// radius-3 invalidation) -> the "durability" table. The gated comparison is
+// replay: restarting from snapshot + WAL tail must beat the pre-durability
+// alternative — retraining the serving state from scratch (an unprimed full
+// RefreshArtifacts) — by >= 5x (tools/check_micro.py).
+// ---------------------------------------------------------------------------
+
+std::vector<MutationResult> MeasureDurability() {
+  std::vector<MutationResult> results;
+  const Graph g = BenchGraph(8000, 33);
+  std::vector<int> anchors(g.num_nodes());
+  std::iota(anchors.begin(), anchors.end(), 0);
+  TpGrGadOptions options;
+  options.seed = 29;
+  options.sampler.path_mode = PathSearchMode::kUnweighted;
+  options.sampler.pair_radius = 3;
+  options.sampler.cycle_max_len = 3;
+  options.sampler.max_paths_per_anchor = 4;
+  options.sampler.max_cycles_per_anchor = 4;
+  options.sampler.max_group_size = 16;
+  options.sampler.max_groups = 128;
+  options.serve_wal_sync_every = 16;
+  options.ReseedStages();
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "grgad_micro_durability";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+
+  // A deterministic absent edge to churn (same scheme as the mutation
+  // table).
+  Rng rng(3);
+  int mu = -1, mv = -1;
+  while (mu < 0) {
+    const int a = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(g.num_nodes())));
+    const int b = static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(g.num_nodes())));
+    if (a != b && !g.HasEdge(a, b)) {
+      mu = std::min(a, b);
+      mv = std::max(a, b);
+    }
+  }
+
+  auto print = [](const MutationResult& r) {
+    if (r.seed_ms > 0.0) {
+      std::printf("  %-24s %-24s seed %8.3f ms   opt %8.3f ms   %.2fx\n",
+                  r.name.c_str(), r.shape.c_str(), r.seed_ms, r.opt_ms,
+                  r.seed_ms / (r.opt_ms > 0.0 ? r.opt_ms : 1e-9));
+    } else {
+      std::printf("  %-24s %-24s                  opt %8.3f ms\n",
+                  r.name.c_str(), r.shape.c_str(), r.opt_ms);
+    }
+  };
+
+  // wal_append: one checksummed record framed + written under the batched
+  // fsync policy (every 16th append pays the sync).
+  {
+    auto wal = WriteAheadLog::Open((dir / "bench.log").string(),
+                                   options.serve_wal_sync_every);
+    if (!wal.ok()) {
+      std::printf("  !! wal bench open failed: %s\n",
+                  wal.status().ToString().c_str());
+      return results;
+    }
+    GraphMutation m;
+    m.kind = GraphMutation::Kind::kAddEdge;
+    m.u = mu;
+    m.v = mv;
+    MutationResult r;
+    r.name = "wal_append";
+    r.shape = "sync_every=16";
+    r.opt_ms = MedianMs([&] {
+      const Status status = wal.value()->Append(WalRecord::Kind::kMutation, m);
+      if (!status.ok()) {
+        std::printf("  !! wal append failed: %s\n", status.ToString().c_str());
+      }
+    });
+    print(r);
+    results.push_back(std::move(r));
+  }
+
+  // Prime the serving-dense resident state once (shared by the snapshot and
+  // replay measurements).
+  RefreshState refresh_state;
+  PipelineArtifacts artifacts;
+  artifacts.seed = options.seed;
+  artifacts.anchors = anchors;
+  const Status primed =
+      RefreshArtifacts(g, options, {}, &refresh_state, &artifacts);
+  if (!primed.ok()) {
+    std::printf("  !! durability bench priming failed: %s\n",
+                primed.ToString().c_str());
+    return results;
+  }
+  ServeStateSnapshot serve_state;
+  serve_state.refresh_primed = refresh_state.primed;
+  serve_state.refresh_per_anchor = refresh_state.per_anchor;
+
+  // snapshot: one atomic SaveServeSnapshot of the full serving state
+  // (packed CSR + artifacts + refresh cache), staged + fsynced + renamed.
+  {
+    const std::string state_dir = (dir / "snapshot_bench").string();
+    MutationResult r;
+    r.name = "snapshot";
+    r.shape = "n=8000,anchors=8000";
+    r.opt_ms = MedianMs([&] {
+      const Status status =
+          SaveServeSnapshot(state_dir, g, artifacts, serve_state, 0);
+      if (!status.ok()) {
+        std::printf("  !! snapshot bench failed: %s\n",
+                    status.ToString().c_str());
+      }
+    });
+    print(r);
+    results.push_back(std::move(r));
+  }
+
+  // replay: the daemon's actual restart path — load the snapshot, construct
+  // the daemon, replay a 17-record WAL tail (16 edge toggles + the refresh
+  // that folds them into the artifacts) — vs the pre-durability restart, a
+  // from-scratch rebuild of the serving state (unprimed full
+  // RefreshArtifacts over all 8000 anchors).
+  {
+    const std::string state_dir = (dir / "replay_bench").string();
+    const Status saved =
+        SaveServeSnapshot(state_dir, g, artifacts, serve_state, 0);
+    if (!saved.ok()) {
+      std::printf("  !! replay bench staging failed: %s\n",
+                  saved.ToString().c_str());
+      return results;
+    }
+    {
+      auto wal = WriteAheadLog::Open(state_dir + "/wal.log", 16);
+      if (!wal.ok()) {
+        std::printf("  !! replay bench wal failed: %s\n",
+                    wal.status().ToString().c_str());
+        return results;
+      }
+      GraphMutation m;
+      m.u = mu;
+      m.v = mv;
+      for (int i = 0; i < 16; ++i) {
+        m.kind = i % 2 == 0 ? GraphMutation::Kind::kAddEdge
+                            : GraphMutation::Kind::kRemoveEdge;
+        (void)wal.value()->Append(WalRecord::Kind::kMutation, m);
+      }
+      (void)wal.value()->Append(WalRecord::Kind::kRefresh);
+      (void)wal.value()->Sync();
+    }
+    MutationResult r;
+    r.name = "replay";
+    r.shape = "n=8000,anchors=8000,records=17";
+    r.opt_ms = MedianMs([&] {
+      auto loaded = LoadServeSnapshot(state_dir);
+      if (!loaded.ok()) {
+        std::printf("  !! replay bench load failed: %s\n",
+                    loaded.status().ToString().c_str());
+        return;
+      }
+      ServeOptions serve_options;
+      serve_options.pipeline = options;
+      serve_options.state_dir = state_dir;
+      ServeDaemon daemon(loaded.value().graph,
+                         std::move(loaded.value().artifacts), serve_options);
+      const Status recovered = daemon.EnableDurability(&loaded.value());
+      if (!recovered.ok()) {
+        std::printf("  !! replay bench recovery failed: %s\n",
+                    recovered.ToString().c_str());
+      }
+      benchmark::DoNotOptimize(daemon.artifacts());
+    });
+    r.seed_ms = MedianMs([&] {
+      RefreshState full_state;
+      PipelineArtifacts full;
+      full.seed = options.seed;
+      full.anchors = anchors;
+      const Status status =
+          RefreshArtifacts(g, options, {}, &full_state, &full);
+      if (!status.ok()) {
+        std::printf("  !! full rebuild failed: %s\n",
+                    status.ToString().c_str());
+      }
+    });
+    print(r);
+    results.push_back(std::move(r));
+  }
+  std::filesystem::remove_all(dir, ec);
+  return results;
+}
+
 void WriteMicroJson() {
   // Epochs are measured FIRST, on a cold allocator: glibc's trim/mmap
   // thresholds ratchet up under the kernel benchmarks' large blocks, after
@@ -936,6 +1131,10 @@ void WriteMicroJson() {
               "incremental refresh vs full recompute), GRGAD_THREADS=%d\n",
               ParallelismDegree());
   const std::vector<MutationResult> mutations = MeasureMutations();
+  std::printf("Durability (WAL append / snapshot / crash recovery vs "
+              "from-scratch rebuild), GRGAD_THREADS=%d\n",
+              ParallelismDegree());
+  const std::vector<MutationResult> durability = MeasureDurability();
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
   const char* path = "bench_results/micro.json";
@@ -945,7 +1144,7 @@ void WriteMicroJson() {
     return;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"grgad-micro-v6\",\n");
+  std::fprintf(f, "  \"schema\": \"grgad-micro-v7\",\n");
   std::fprintf(f, "  \"threads\": %d,\n", ParallelismDegree());
   std::fprintf(f, "  \"candidates\": [\n");
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -1029,6 +1228,22 @@ void WriteMicroJson() {
     }
     if (r.fanout >= 0.0) std::fprintf(f, ", \"fanout\": %.2f", r.fanout);
     std::fprintf(f, "}%s\n", i + 1 < mutations.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"durability\": [\n");
+  for (size_t i = 0; i < durability.size(); ++i) {
+    const MutationResult& r = durability[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"shape\": \"%s\"",
+                 r.name.c_str(), r.shape.c_str());
+    if (r.seed_ms > 0.0) {
+      std::fprintf(f, ", \"seed_ms\": %.6f", r.seed_ms);
+    }
+    std::fprintf(f, ", \"opt_ms\": %.6f", r.opt_ms);
+    if (r.seed_ms > 0.0) {
+      std::fprintf(f, ", \"speedup\": %.3f",
+                   r.seed_ms / (r.opt_ms > 0.0 ? r.opt_ms : 1e-9));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < durability.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

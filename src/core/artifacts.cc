@@ -1,18 +1,14 @@
 #include "src/core/artifacts.h"
 
 #include "src/core/options.h"
-#include "src/util/fault.h"
+#include "src/util/atomic_io.h"
 #include "src/util/retry.h"
-
-#include <fcntl.h>
-#include <unistd.h>
 
 #include <cerrno>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <sstream>
 #include <utility>
@@ -27,62 +23,6 @@ constexpr int kFormatVersion = 2;
 constexpr int kLegacyVersion = 1;
 constexpr const char* kManifestFile = "manifest.txt";
 
-// 17 significant digits round-trip any finite double exactly.
-std::string FormatExact(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-uint64_t Fnv1a64(const std::string& s) {
-  uint64_t h = 1469598103934665603ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::string HexU64(uint64_t v) {
-  char buf[20];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
-Status WriteFile(const std::string& path, const std::string& content) {
-  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("artifact/write"));
-  std::ofstream out(path, std::ios::trunc | std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << content;
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
-}
-
-/// fsync of a file or directory via its POSIX descriptor; the rename-commit
-/// protocol below is only crash-safe once the tmp files and the tmp
-/// directory itself are durable.
-Status FsyncPath(const std::string& path, bool is_dir) {
-  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("artifact/fsync"));
-  const int fd =
-      ::open(path.c_str(), is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
-  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Status::IoError("fsync failed: " + path);
-  return Status::Ok();
-}
-
-Result<std::string> ReadFile(const std::string& path) {
-  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("artifact/read"));
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
 std::string JoinInts(const std::vector<int>& v) {
   std::string out;
   for (size_t i = 0; i < v.size(); ++i) {
@@ -95,7 +35,7 @@ std::string JoinInts(const std::vector<int>& v) {
 std::string SerializeDoubles(const std::vector<double>& v) {
   std::string content;
   for (double x : v) {
-    content += FormatExact(x);
+    content += FormatExactDouble(x);
     content += '\n';
   }
   return content;
@@ -179,7 +119,7 @@ std::string SerializeMatrix(const Matrix& m) {
   for (size_t i = 0; i < m.rows(); ++i) {
     for (size_t j = 0; j < m.cols(); ++j) {
       if (j) content += ' ';
-      content += FormatExact(m(i, j));
+      content += FormatExactDouble(m(i, j));
     }
     content += '\n';
   }
@@ -222,7 +162,7 @@ std::string SerializeScoredGroups(const std::vector<ScoredGroup>& groups) {
   scored += std::to_string(groups.size());
   scored += '\n';
   for (const ScoredGroup& sg : groups) {
-    scored += FormatExact(sg.score);
+    scored += FormatExactDouble(sg.score);
     for (int v : sg.nodes) {
       scored += ' ';
       scored += std::to_string(v);
@@ -378,10 +318,10 @@ Status CheckCount(const ManifestInfo& m, const std::string& key,
 
 }  // namespace
 
-Status SaveArtifacts(const PipelineArtifacts& artifacts,
-                     const std::string& dir) {
+Status WriteArtifactFiles(const PipelineArtifacts& artifacts,
+                          const std::string& dir) {
   namespace fs = std::filesystem;
-  // Serialize everything up front so the commit window holds no compute.
+  // Serialize everything up front so the durability window holds no compute.
   const auto files = SerializeFiles(artifacts);
   std::string manifest;
   manifest += "grgad_artifacts_version " + std::to_string(kFormatVersion);
@@ -406,16 +346,33 @@ Status SaveArtifacts(const PipelineArtifacts& artifacts,
                 HexU64(Fnv1a64(content)) + "\n";
   }
 
+  const fs::path base(dir);
+  GRGAD_RETURN_IF_ERROR(WriteTextFile((base / kManifestFile).string(),
+                                      manifest));
+  for (const auto& [name, content] : files) {
+    GRGAD_RETURN_IF_ERROR(WriteTextFile((base / name).string(), content));
+  }
+  GRGAD_RETURN_IF_ERROR(
+      FsyncPath((base / kManifestFile).string(), /*is_dir=*/false));
+  for (const auto& [name, content] : files) {
+    GRGAD_RETURN_IF_ERROR(FsyncPath((base / name).string(),
+                                    /*is_dir=*/false));
+  }
+  return FsyncPath(base.string(), /*is_dir=*/true);
+}
+
+Status SaveArtifacts(const PipelineArtifacts& artifacts,
+                     const std::string& dir) {
+  namespace fs = std::filesystem;
   // Atomic replace: stage everything in a sibling tmp dir, make it durable,
   // then commit with renames. A crash or injected fault at any point leaves
   // either the previous artifacts or (mid-dance) no directory — never a
   // torn mixture that parses.
   const fs::path target(dir);
   const fs::path tmp(dir + ".tmp");
-  const fs::path old(dir + ".old");
   std::error_code ec;
   fs::remove_all(tmp, ec);  // Stale leftovers from a crashed save.
-  fs::remove_all(old, ec);
+  fs::remove_all(fs::path(dir + ".old"), ec);
   if (target.has_parent_path()) {
     fs::create_directories(target.parent_path(), ec);
   }
@@ -425,66 +382,12 @@ Status SaveArtifacts(const PipelineArtifacts& artifacts,
     return Status::IoError("cannot create " + tmp.string() + ": " +
                            ec.message());
   }
-  const Status staged = [&]() -> Status {
-    GRGAD_RETURN_IF_ERROR(WriteFile((tmp / kManifestFile).string(), manifest));
-    for (const auto& [name, content] : files) {
-      GRGAD_RETURN_IF_ERROR(WriteFile((tmp / name).string(), content));
-    }
-    GRGAD_RETURN_IF_ERROR(
-        FsyncPath((tmp / kManifestFile).string(), /*is_dir=*/false));
-    for (const auto& [name, content] : files) {
-      GRGAD_RETURN_IF_ERROR(FsyncPath((tmp / name).string(),
-                                      /*is_dir=*/false));
-    }
-    return FsyncPath(tmp.string(), /*is_dir=*/true);
-  }();
-  if (!staged.ok()) {
+  if (Status staged = WriteArtifactFiles(artifacts, tmp.string());
+      !staged.ok()) {
     fs::remove_all(tmp, ec);
     return staged;
   }
-
-  // Commit. rename(2) cannot replace a non-empty directory, hence the
-  // dance: move the old artifacts aside, move the staged dir in, drop the
-  // old copy. A real rename failure restores the old directory; a hard
-  // crash between the two renames leaves the target absent (NotFound on
-  // load — never loadable-but-corrupt).
-  if (Status fault = FaultInjector::Global().Check("artifact/rename");
-      !fault.ok()) {
-    fs::remove_all(tmp, ec);
-    return fault;
-  }
-  const bool had_target = fs::exists(target);
-  if (had_target) {
-    fs::rename(target, old, ec);
-    if (ec) {
-      std::error_code cleanup;
-      fs::remove_all(tmp, cleanup);
-      return Status::IoError("cannot move aside " + target.string() + ": " +
-                             ec.message());
-    }
-  }
-  fs::rename(tmp, target, ec);
-  if (ec) {
-    std::error_code restore;
-    if (had_target) fs::rename(old, target, restore);
-    fs::remove_all(tmp, restore);
-    return Status::IoError("cannot commit " + tmp.string() + " -> " +
-                           target.string() + ": " + ec.message());
-  }
-  if (had_target) fs::remove_all(old, ec);
-  // Durability of the renames themselves: fsync the parent directory.
-  // Best-effort — the commit already happened, so a failure here must not
-  // report the save as failed (callers would wrongly trust the OLD data).
-  {
-    const fs::path parent =
-        target.has_parent_path() ? target.parent_path() : fs::path(".");
-    const int fd = ::open(parent.string().c_str(), O_RDONLY | O_DIRECTORY);
-    if (fd >= 0) {
-      ::fsync(fd);
-      ::close(fd);
-    }
-  }
-  return Status::Ok();
+  return CommitDirReplace(tmp.string(), dir);
 }
 
 Result<PipelineArtifacts> LoadArtifacts(const std::string& dir) {
@@ -493,7 +396,7 @@ Result<PipelineArtifacts> LoadArtifacts(const std::string& dir) {
   if (!fs::exists(manifest_path)) {
     return Status::NotFound("no artifact manifest at " + manifest_path);
   }
-  auto manifest_content = ReadFile(manifest_path);
+  auto manifest_content = ReadTextFile(manifest_path);
   if (!manifest_content.ok()) return manifest_content.status();
   auto manifest = ParseManifest(manifest_content.value(), manifest_path);
   if (!manifest.ok()) return manifest.status();
@@ -510,7 +413,7 @@ Result<PipelineArtifacts> LoadArtifacts(const std::string& dir) {
     if (!fs::exists(path, ec)) {
       return Status::DataLoss("missing artifact file " + path);
     }
-    auto content = ReadFile(path);
+    auto content = ReadTextFile(path);
     if (!content.ok()) return content.status();
     if (content.value().size() != entry.bytes) {
       return Status::DataLoss(
@@ -525,7 +428,7 @@ Result<PipelineArtifacts> LoadArtifacts(const std::string& dir) {
     contents[entry.name] = std::move(content).value();
   }
   const auto get = [&](const char* name) -> Result<std::string> {
-    if (m.version == kLegacyVersion) return ReadFile(PathIn(dir, name));
+    if (m.version == kLegacyVersion) return ReadTextFile(PathIn(dir, name));
     auto it = contents.find(name);
     if (it == contents.end()) {
       return Status::DataLoss("manifest " + manifest_path +

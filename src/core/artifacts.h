@@ -42,6 +42,14 @@ struct PipelineArtifacts {
 Status SaveArtifacts(const PipelineArtifacts& artifacts,
                      const std::string& dir);
 
+/// Writes the artifact file set (manifest + payload files) directly into the
+/// EXISTING directory `dir` and fsyncs each file plus the directory, with no
+/// staging or rename commit of its own. Building block for composite
+/// snapshots that stage several stores in one tmp directory and publish them
+/// with a single CommitDirReplace; SaveArtifacts is this plus the dance.
+Status WriteArtifactFiles(const PipelineArtifacts& artifacts,
+                          const std::string& dir);
+
 /// Loads a directory written by SaveArtifacts. Fails with NotFound when no
 /// manifest is present, DataLoss when a file is missing, truncated,
 /// checksum-corrupt, or disagrees with the manifest's recorded counts/dims

@@ -94,6 +94,9 @@ void BindTpGrGadOptions(TpGrGadOptions* o, OptionMap* map) {
   });
   map->Add("disable_tpgcl", &o->disable_tpgcl);
   map->Add("serve.prewarm_workspaces", &o->serve_prewarm_workspaces);
+  map->Add("serve.wal_sync_every", &o->serve_wal_sync_every);
+  map->Add("serve.snapshot_every_mutations",
+           &o->serve_snapshot_every_mutations);
 
   BindGaeOptions("mh_gae.", &o->mh_gae.base, map);
   map->Add("mh_gae.anchor_fraction", &o->mh_gae.anchor_fraction);

@@ -46,6 +46,19 @@ struct TpGrGadOptions {
   /// one workspace pair per worker anyway. Prewarming never changes
   /// results — it only moves workspace growth out of the serving path.
   int serve_prewarm_workspaces = 0;
+  /// Serving durability: fsync the write-ahead log every N appended records
+  /// (OptionMap key "serve.wal_sync_every"). 1 = every record is durable
+  /// before its ack (the safest and default); larger values batch fsyncs
+  /// and bound data loss to the last N-1 acked mutations on power loss —
+  /// kill -9 of the daemon alone never loses acked records either way,
+  /// since the kernel holds the written bytes.
+  int serve_wal_sync_every = 1;
+  /// Serving durability: write a full state snapshot (graph + artifacts +
+  /// WAL high-water mark) every N applied mutations and truncate the
+  /// replayed WAL prefix (OptionMap key "serve.snapshot_every_mutations").
+  /// 0 = never snapshot automatically; the WAL alone still recovers the
+  /// session (replay from the start-of-session state).
+  int serve_snapshot_every_mutations = 0;
 
   /// Propagates `seed` into the training-stage seeds (mh_gae.base.seed,
   /// tpgcl.seed). The sampler and its subsampling draw keep their own

@@ -34,10 +34,12 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/graph/graph.h"
 #include "src/tensor/matrix.h"
+#include "src/util/status.h"
 
 namespace grgad {
 
@@ -48,6 +50,22 @@ struct GraphMutation {
   int u = -1;  ///< Edge endpoint / the node id for node ops.
   int v = -1;  ///< Second endpoint (-1 for node ops).
 };
+
+/// Wire form of one mutation: `<kind> <u> <v>` with kind one of add-edge,
+/// remove-edge, add-node, remove-node (the WAL record payload).
+std::string FormatGraphMutation(const GraphMutation& m);
+
+/// Parses FormatGraphMutation output; false on any malformed input (extra
+/// tokens, unknown kind, non-integer endpoints).
+bool ParseGraphMutation(const std::string& text, GraphMutation* out);
+
+/// Durable text form of a packed CSR: header (version, node/edge counts,
+/// attr_dim), the edge list in Edges() order, then one exact-double
+/// attribute row per node. ParseGraphSnapshot rebuilds through GraphBuilder,
+/// so the round trip is bitwise identical (offsets, adjacency, attributes)
+/// to the serialized graph.
+std::string SerializeGraphSnapshot(const Graph& g);
+Result<Graph> ParseGraphSnapshot(const std::string& text);
 
 /// Mutation/compaction counters (monotonic except pending_log).
 struct DynamicGraphStats {

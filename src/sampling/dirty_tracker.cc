@@ -37,6 +37,31 @@ void AnchorDirtyTracker::MarkAll() {
   dirty_count_ = dirty_.size();
 }
 
+void AnchorDirtyTracker::MarkIndex(int anchor_index) {
+  if (anchor_index < 0 ||
+      static_cast<size_t>(anchor_index) >= dirty_.size()) {
+    return;
+  }
+  if (!dirty_[anchor_index]) {
+    dirty_[anchor_index] = 1;
+    ++dirty_count_;
+  }
+}
+
+std::vector<int> AnchorDirtyTracker::PeekDirtyIndices() const {
+  std::vector<int> indices;
+  indices.reserve(dirty_count_);
+  if (all_dirty_) {
+    indices.resize(dirty_.size());
+    std::iota(indices.begin(), indices.end(), 0);
+  } else {
+    for (size_t i = 0; i < dirty_.size(); ++i) {
+      if (dirty_[i]) indices.push_back(static_cast<int>(i));
+    }
+  }
+  return indices;
+}
+
 std::vector<int> AnchorDirtyTracker::TakeDirtyIndices() {
   std::vector<int> indices;
   indices.reserve(dirty_count_);

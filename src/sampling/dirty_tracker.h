@@ -72,9 +72,18 @@ class AnchorDirtyTracker {
   size_t dirty_count() const { return dirty_count_; }
   size_t num_anchors() const { return dirty_.size(); }
 
+  /// Marks one anchor by its index into the Reset() anchor list (snapshot
+  /// restore: re-arming marks recorded by PeekDirtyIndices). Out-of-range
+  /// indices are ignored.
+  void MarkIndex(int anchor_index);
+
   /// Returns the dirty anchor indices (ascending, into the Reset() anchor
   /// list) and clears every mark.
   std::vector<int> TakeDirtyIndices();
+
+  /// TakeDirtyIndices without the clear — the serializable view of the
+  /// current dirty set for snapshots.
+  std::vector<int> PeekDirtyIndices() const;
 
  private:
   template <typename G>

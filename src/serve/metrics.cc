@@ -101,10 +101,47 @@ void ServeMetrics::RecordRefresh(size_t dirty, size_t reused) {
   reused_anchors_ += reused;
 }
 
+void ServeMetrics::SetDurabilityEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  durability_enabled_ = enabled;
+}
+
+void ServeMetrics::RecordWalAppend(size_t bytes, bool fsynced) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++wal_appends_;
+  wal_bytes_ += bytes;
+  if (fsynced) ++fsyncs_;
+}
+
+void ServeMetrics::RecordWalSync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++fsyncs_;
+}
+
+void ServeMetrics::RecordSnapshot(uint64_t wal_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snapshots_;
+  wal_seq_ = wal_seq;
+}
+
+void ServeMetrics::RecordRecovery(size_t replayed, size_t truncated,
+                                  const std::string& note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  replayed_records_ += replayed;
+  truncated_tail_records_ += truncated;
+  if (!note.empty()) last_durability_error_ = note;
+}
+
+void ServeMetrics::RecordDurabilityError(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++durability_errors_;
+  last_durability_error_ = status.ToString();
+}
+
 std::string ServeMetrics::SnapshotJson(size_t queue_depth,
                                        const MatrixArena* arena) const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\"schema\": \"grgad-serve-metrics-v2\"";
+  std::string out = "{\"schema\": \"grgad-serve-metrics-v3\"";
 
   out += ", \"queue\": {\"capacity\": " + std::to_string(queue_capacity_) +
          ", \"depth\": " + std::to_string(queue_depth) +
@@ -177,6 +214,20 @@ std::string ServeMetrics::SnapshotJson(size_t queue_depth,
          ", \"refreshes\": " + std::to_string(refreshes_) +
          ", \"refreshed_anchors\": " + std::to_string(refreshed_anchors_) +
          ", \"reused_anchors\": " + std::to_string(reused_anchors_) + "}";
+
+  out += std::string(", \"durability\": {\"enabled\": ") +
+         (durability_enabled_ ? "true" : "false") +
+         ", \"wal_appends\": " + std::to_string(wal_appends_) +
+         ", \"wal_bytes\": " + std::to_string(wal_bytes_) +
+         ", \"fsyncs\": " + std::to_string(fsyncs_) +
+         ", \"snapshots\": " + std::to_string(snapshots_) +
+         ", \"wal_seq\": " + std::to_string(wal_seq_) +
+         ", \"replayed_records\": " + std::to_string(replayed_records_) +
+         ", \"truncated_tail_records\": " +
+         std::to_string(truncated_tail_records_) +
+         ", \"errors\": " + std::to_string(durability_errors_) +
+         ", \"last_error\": \"" + JsonEscapeText(last_durability_error_) +
+         "\"}";
 
   out += ", \"workspace\": {\"total_heap_allocs\": " +
          std::to_string(TraversalWorkspace::TotalHeapAllocs()) + "}";

@@ -6,12 +6,14 @@
 // request; the pipeline's own telemetry arrives for free via RunContext
 // stage timings). A `stats` request — or the --metrics-out dump at
 // shutdown — renders SnapshotJson(): one self-describing JSON object
-// ("grgad-serve-metrics-v2", schema documented in PERF.md) with queue
+// ("grgad-serve-metrics-v3", schema documented in PERF.md) with queue
 // gauges, per-op request counts + latency aggregates, batch-size stats, a
 // log-spaced request latency histogram, per-(sub-)stage wall-time
-// aggregates, mutation/invalidation-fanout/refresh counters, the shared
-// workspace/arena allocation counters, and a most-recent-batches timeline
-// ring (collector + timeline, not an unbounded log).
+// aggregates, mutation/invalidation-fanout/refresh counters, durability
+// counters (WAL appends/bytes/fsyncs, snapshots, recovery replay and
+// truncation totals), the shared workspace/arena allocation counters, and
+// a most-recent-batches timeline ring (collector + timeline, not an
+// unbounded log).
 #ifndef GRGAD_SERVE_METRICS_H_
 #define GRGAD_SERVE_METRICS_H_
 
@@ -64,6 +66,31 @@ class ServeMetrics {
   /// `reused` served from the cache.
   void RecordRefresh(size_t dirty, size_t reused);
 
+  // Durability (the "durability" snapshot section, schema v3):
+
+  /// Flips the section's "enabled" flag (EnableDurability succeeded).
+  void SetDurabilityEnabled(bool enabled);
+
+  /// One WAL record appended (`bytes` on the wire); `fsynced` true when
+  /// this append triggered the batched fsync.
+  void RecordWalAppend(size_t bytes, bool fsynced);
+
+  /// One explicit Sync() fsync (the `sync` op / graceful drain).
+  void RecordWalSync();
+
+  /// One snapshot committed at WAL high-water mark `wal_seq`.
+  void RecordSnapshot(uint64_t wal_seq);
+
+  /// Recovery finished: `replayed` WAL records re-applied, `truncated`
+  /// torn/corrupt tail records dropped, with the typed DataLoss note ("" =
+  /// clean tail).
+  void RecordRecovery(size_t replayed, size_t truncated,
+                      const std::string& note);
+
+  /// A durable operation failed (WAL append, snapshot, sync); the daemon
+  /// degraded but kept serving.
+  void RecordDurabilityError(const Status& status);
+
   /// The live snapshot. `queue_depth` is sampled by the caller (the queue
   /// owns it); `arena` contributes the shared warm-buffer stats (nullptr
   /// omits the section's counters but keeps the key).
@@ -114,6 +141,17 @@ class ServeMetrics {
   uint64_t refreshes_ = 0;
   uint64_t refreshed_anchors_ = 0;
   uint64_t reused_anchors_ = 0;
+  // Durability (the "durability" snapshot section):
+  bool durability_enabled_ = false;
+  uint64_t wal_appends_ = 0;
+  uint64_t wal_bytes_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t snapshots_ = 0;
+  uint64_t wal_seq_ = 0;  ///< High-water mark of the last snapshot.
+  uint64_t replayed_records_ = 0;
+  uint64_t truncated_tail_records_ = 0;
+  uint64_t durability_errors_ = 0;
+  std::string last_durability_error_;  ///< "" until the first error/note.
 };
 
 }  // namespace grgad

@@ -306,6 +306,8 @@ const char* ServeOpName(ServeOp op) {
     case ServeOp::kRemoveEdge: return "remove-edge";
     case ServeOp::kRefresh: return "refresh";
     case ServeOp::kCompact: return "compact";
+    case ServeOp::kSync: return "sync";
+    case ServeOp::kSnapshot: return "snapshot";
   }
   return "unknown";
 }
@@ -336,11 +338,13 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
   else if (op->string == "remove-edge") request.op = ServeOp::kRemoveEdge;
   else if (op->string == "refresh") request.op = ServeOp::kRefresh;
   else if (op->string == "compact") request.op = ServeOp::kCompact;
+  else if (op->string == "sync") request.op = ServeOp::kSync;
+  else if (op->string == "snapshot") request.op = ServeOp::kSnapshot;
   else {
     return Status::InvalidArgument(
         "request: unknown op '" + op->string +
         "' (anchor-score, rescore, what-if, stats, shutdown, add-edge, "
-        "remove-edge, refresh, compact)");
+        "remove-edge, refresh, compact, sync, snapshot)");
   }
 
   for (const auto& [key, value] : root.object) {
@@ -466,6 +470,20 @@ std::string RenderCompactResponse(int64_t id, int num_edges,
   out += ", \"num_edges\": " + std::to_string(num_edges);
   out += ", \"compactions\": " + std::to_string(compactions);
   out += ", \"pending_log\": " + std::to_string(pending_log);
+  out += "}";
+  return out;
+}
+
+std::string RenderSyncResponse(int64_t id, uint64_t wal_seq) {
+  std::string out = ResponseHead(id, "sync", "ok");
+  out += ", \"wal_seq\": " + std::to_string(wal_seq);
+  out += "}";
+  return out;
+}
+
+std::string RenderSnapshotResponse(int64_t id, uint64_t wal_seq) {
+  std::string out = ResponseHead(id, "snapshot", "ok");
+  out += ", \"wal_seq\": " + std::to_string(wal_seq);
   out += "}";
   return out;
 }

@@ -87,6 +87,8 @@ enum class ServeOp {
   kRemoveEdge,
   kRefresh,
   kCompact,
+  kSync,      ///< Force a WAL fsync (durable up to the last acked record).
+  kSnapshot,  ///< Force a state snapshot + WAL truncation.
 };
 
 const char* ServeOpName(ServeOp op);
@@ -145,6 +147,14 @@ std::string RenderRefreshResponse(int64_t id, size_t refreshed_anchors,
 ///  pending_log} after a slack-CSR compaction.
 std::string RenderCompactResponse(int64_t id, int num_edges,
                                   uint64_t compactions, size_t pending_log);
+
+/// {"id", "op": "sync", "status": "ok", wal_seq} after a forced WAL fsync.
+/// Deterministic: wal_seq is a pure function of the acked op sequence.
+std::string RenderSyncResponse(int64_t id, uint64_t wal_seq);
+
+/// {"id", "op": "snapshot", "status": "ok", wal_seq} after a forced
+/// snapshot (wal_seq = the high-water mark the snapshot covers).
+std::string RenderSnapshotResponse(int64_t id, uint64_t wal_seq);
 
 /// {"id", "op", "status": "<StatusCodeName>", "error": "..."} — the
 /// per-request failure surface (deadline expiry, injected faults, bad

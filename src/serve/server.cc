@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <thread>
 #include <utility>
 
@@ -51,6 +52,160 @@ void ServeDaemon::Prewarm() {
 int ServeDaemon::MarkAllAnchors() {
   tracker_.MarkAll();
   return static_cast<int>(tracker_.num_anchors());
+}
+
+bool ServeDaemon::ApplyEdgeMutation(bool add, int u, int v, int* fanout) {
+  *fanout = 0;
+  const bool sound = IncrementalInvalidationSound(options_.pipeline.sampler);
+  if (add) {
+    // Mark AFTER applying: the post-add balls cover every distance that
+    // shrank through the new edge.
+    const bool applied = dynamic_.AddEdge(u, v);
+    if (applied) {
+      *fanout = sound ? tracker_.MarkFromEdge(dynamic_, u, v)
+                      : MarkAllAnchors();
+    }
+    return applied;
+  }
+  if (!dynamic_.HasEdge(u, v)) return false;
+  // Mark BEFORE applying: the pre-remove balls still reach through the
+  // edge about to disappear.
+  *fanout = sound ? tracker_.MarkFromEdge(dynamic_, u, v) : MarkAllAnchors();
+  return dynamic_.RemoveEdge(u, v);
+}
+
+Status ServeDaemon::ReplayWalRecord(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecord::Kind::kMutation: {
+      const GraphMutation& m = record.mutation;
+      if (m.kind != GraphMutation::Kind::kAddEdge &&
+          m.kind != GraphMutation::Kind::kRemoveEdge) {
+        return Status::DataLoss("wal replay: unsupported mutation kind at seq " +
+                                std::to_string(record.seq));
+      }
+      int fanout = 0;
+      ApplyEdgeMutation(m.kind == GraphMutation::Kind::kAddEdge, m.u, m.v,
+                        &fanout);
+      return Status::Ok();
+    }
+    case WalRecord::Kind::kRefresh: {
+      const std::vector<int> dirty = tracker_.TakeDirtyIndices();
+      Status status = RefreshArtifacts(dynamic_.PackedView(),
+                                       options_.pipeline, dirty,
+                                       &refresh_state_, &artifacts_);
+      if (!status.ok()) tracker_.MarkAll();
+      return status;
+    }
+    case WalRecord::Kind::kCompact: {
+      dynamic_.Compact();
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("wal replay: unreachable record kind");
+}
+
+Status ServeDaemon::EnableDurability(const LoadedServeSnapshot* snapshot) {
+  if (options_.state_dir.empty()) {
+    return Status::InvalidArgument(
+        "EnableDurability requires ServeOptions::state_dir");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(options_.state_dir), ec);
+  if (ec) {
+    return Status::IoError("cannot create state dir " + options_.state_dir +
+                           ": " + ec.message());
+  }
+  uint64_t base = 0;
+  if (snapshot != nullptr) {
+    // The caller already seeded the constructor with the snapshot's graph
+    // and artifacts; what remains is the serving state around them.
+    if (snapshot->state.all_dirty) {
+      tracker_.MarkAll();
+    } else {
+      for (int index : snapshot->state.dirty_anchor_indices) {
+        tracker_.MarkIndex(index);
+      }
+    }
+    refresh_state_.primed = snapshot->state.refresh_primed;
+    refresh_state_.per_anchor = snapshot->state.refresh_per_anchor;
+    base = snapshot->wal_seq;
+  }
+  auto wal = WriteAheadLog::Open(
+      (std::filesystem::path(options_.state_dir) / "wal.log").string(),
+      options_.pipeline.serve_wal_sync_every);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(wal.value());
+  // Replay the tail above the snapshot's high-water mark through the same
+  // apply/mark/refresh path live traffic takes; records at or below it are
+  // already folded into the snapshot (the crash-before-truncate window).
+  size_t replayed = 0;
+  for (const WalRecord& record : wal_->records()) {
+    if (record.seq <= base) continue;
+    GRGAD_RETURN_IF_ERROR(ReplayWalRecord(record));
+    ++replayed;
+  }
+  if (wal_->last_seq() < base) {
+    // The WAL lost records the snapshot already covers (torn tail below
+    // the high-water mark): reset so appends continue above the snapshot.
+    GRGAD_RETURN_IF_ERROR(wal_->ResetTo(base));
+  }
+  metrics_.RecordRecovery(replayed, wal_->open_stats().truncated_records,
+                          wal_->open_stats().truncation_note);
+  metrics_.SetDurabilityEnabled(true);
+  if (replayed > 0 || wal_->open_stats().truncated_records > 0) {
+    GRGAD_LOG(kInfo) << "serve: recovered " << replayed
+                     << " WAL record(s) above snapshot seq " << base
+                     << " (dropped "
+                     << wal_->open_stats().truncated_records
+                     << " torn tail record(s))";
+  }
+  return Status::Ok();
+}
+
+Status ServeDaemon::SnapshotNow() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot requires a daemon started with --state-dir");
+  }
+  ServeStateSnapshot state;
+  state.all_dirty = tracker_.all_dirty();
+  state.dirty_anchor_indices = tracker_.PeekDirtyIndices();
+  state.refresh_primed = refresh_state_.primed;
+  if (refresh_state_.primed) {
+    state.refresh_per_anchor = refresh_state_.per_anchor;
+  }
+  const uint64_t seq = wal_->last_seq();
+  // Unsynced appends must be durable before a snapshot claims to cover
+  // them: the snapshot commit is the new recovery floor.
+  GRGAD_RETURN_IF_ERROR(wal_->Sync());
+  GRGAD_RETURN_IF_ERROR(SaveServeSnapshot(options_.state_dir,
+                                          dynamic_.PackedView(), artifacts_,
+                                          state, seq));
+  metrics_.RecordSnapshot(seq);
+  // The kill window between a committed snapshot and the WAL truncation:
+  // recovery must skip replaying records the snapshot already covers.
+  (void)FaultInjector::Global().Fires("snapshot/post-pre-truncate");
+  GRGAD_RETURN_IF_ERROR(wal_->ResetTo(seq));
+  mutations_since_snapshot_ = 0;
+  return Status::Ok();
+}
+
+void ServeDaemon::MaybeSnapshot() {
+  if (wal_ == nullptr) return;
+  const int cadence = options_.pipeline.serve_snapshot_every_mutations;
+  if (cadence <= 0) return;
+  ++mutations_since_snapshot_;
+  if (mutations_since_snapshot_ < static_cast<uint64_t>(cadence)) return;
+  // Reset the counter even on failure so a persistently failing snapshot
+  // retries at the next cadence instead of after every mutation.
+  mutations_since_snapshot_ = 0;
+  if (Status status = SnapshotNow(); !status.ok()) {
+    // Degradation, not failure: the WAL still covers the whole session.
+    metrics_.RecordDurabilityError(status);
+    GRGAD_LOG(kWarning) << "serve: snapshot failed (WAL still covers the "
+                           "session): " << status.ToString();
+  }
 }
 
 std::string ServeDaemon::MetricsJson() const {
@@ -272,32 +427,49 @@ std::string ServeDaemon::Execute(const ServeRequest& request,
       case ServeOp::kRemoveEdge: {
         bool applied = false;
         int fanout = 0;
+        const bool add = request.op == ServeOp::kAddEdge;
         // Ids beyond int range cannot name a node; treat as a structural
         // no-op rather than an error, matching DynamicGraph's semantics.
         if (request.u <= INT32_MAX && request.v <= INT32_MAX) {
-          const int u = static_cast<int>(request.u);
-          const int v = static_cast<int>(request.v);
-          const bool sound =
-              IncrementalInvalidationSound(options_.pipeline.sampler);
-          if (request.op == ServeOp::kAddEdge) {
-            // Mark AFTER applying: the post-add balls cover every distance
-            // that shrank through the new edge.
-            applied = dynamic_.AddEdge(u, v);
-            if (applied) {
-              fanout = sound ? tracker_.MarkFromEdge(dynamic_, u, v)
-                             : MarkAllAnchors();
+          applied = ApplyEdgeMutation(add, static_cast<int>(request.u),
+                                      static_cast<int>(request.v), &fanout);
+        }
+        if (applied && wal_ != nullptr) {
+          // Durability before the ack: the record must survive a crash the
+          // instant after the client reads the response. An append failure
+          // rolls the mutation back (the dirty marks stay — harmless
+          // over-invalidation) so memory never diverges from the log.
+          GraphMutation m;
+          m.kind = add ? GraphMutation::Kind::kAddEdge
+                       : GraphMutation::Kind::kRemoveEdge;
+          m.u = std::min(static_cast<int>(request.u),
+                         static_cast<int>(request.v));
+          m.v = std::max(static_cast<int>(request.u),
+                         static_cast<int>(request.v));
+          const uint64_t fsyncs_before = wal_->fsyncs();
+          const uint64_t bytes_before = wal_->bytes_appended();
+          status = wal_->Append(WalRecord::Kind::kMutation, m);
+          if (!status.ok()) {
+            if (add) {
+              dynamic_.RemoveEdge(m.u, m.v);
+            } else {
+              dynamic_.AddEdge(m.u, m.v);
             }
-          } else if (dynamic_.HasEdge(u, v)) {
-            // Mark BEFORE applying: the pre-remove balls still reach
-            // through the edge about to disappear.
-            fanout = sound ? tracker_.MarkFromEdge(dynamic_, u, v)
-                           : MarkAllAnchors();
-            applied = dynamic_.RemoveEdge(u, v);
+            metrics_.RecordDurabilityError(status);
+            response = RenderErrorResponse(request.id, request.op, status);
+            break;
           }
+          metrics_.RecordWalAppend(
+              static_cast<size_t>(wal_->bytes_appended() - bytes_before),
+              wal_->fsyncs() > fsyncs_before);
+          // The logged-but-unacked kill window: recovery includes this op
+          // even though the client never saw the ack.
+          (void)FaultInjector::Global().Fires("wal/post-append-pre-ack");
         }
         metrics_.RecordMutation(applied, fanout);
         response = RenderMutationResponse(request.id, request.op, applied,
                                           fanout, dynamic_.num_edges());
+        if (applied) MaybeSnapshot();
         break;
       }
       case ServeOp::kRefresh: {
@@ -314,6 +486,22 @@ std::string ServeDaemon::Execute(const ServeRequest& request,
           response = RenderErrorResponse(request.id, request.op, status);
           break;
         }
+        if (wal_ != nullptr) {
+          // The refresh consumed the dirty marks and rewrote the resident
+          // artifacts; the control record lets replay re-run it at exactly
+          // this position. On append failure the refresh cannot be made
+          // durable: unprime + re-mark so the next refresh (in this world
+          // AND a recovered one) is the same history-independent full
+          // resample.
+          status = wal_->Append(WalRecord::Kind::kRefresh);
+          if (!status.ok()) {
+            tracker_.MarkAll();
+            refresh_state_.primed = false;
+            metrics_.RecordDurabilityError(status);
+            response = RenderErrorResponse(request.id, request.op, status);
+            break;
+          }
+        }
         metrics_.RecordRefresh(rstats.dirty_anchors, rstats.reused_anchors);
         response = RenderRefreshResponse(request.id, rstats.dirty_anchors,
                                          rstats.reused_anchors,
@@ -323,10 +511,48 @@ std::string ServeDaemon::Execute(const ServeRequest& request,
       }
       case ServeOp::kCompact: {
         dynamic_.Compact();
+        if (wal_ != nullptr) {
+          // Compaction only moves counters (compactions, pending_log), but
+          // those surface in compact responses — replaying the record keeps
+          // a recovered daemon's counters aligned.
+          status = wal_->Append(WalRecord::Kind::kCompact);
+          if (!status.ok()) {
+            metrics_.RecordDurabilityError(status);
+            response = RenderErrorResponse(request.id, request.op, status);
+            break;
+          }
+        }
         const DynamicGraphStats dstats = dynamic_.stats();
         response = RenderCompactResponse(request.id, dynamic_.num_edges(),
                                          dstats.compactions,
                                          dstats.pending_log);
+        break;
+      }
+      case ServeOp::kSync: {
+        if (wal_ == nullptr) {
+          status = Status::FailedPrecondition(
+              "sync requires a daemon started with --state-dir");
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        status = wal_->Sync();
+        if (!status.ok()) {
+          metrics_.RecordDurabilityError(status);
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        metrics_.RecordWalSync();
+        response = RenderSyncResponse(request.id, wal_->last_seq());
+        break;
+      }
+      case ServeOp::kSnapshot: {
+        status = SnapshotNow();
+        if (!status.ok()) {
+          if (wal_ != nullptr) metrics_.RecordDurabilityError(status);
+          response = RenderErrorResponse(request.id, request.op, status);
+          break;
+        }
+        response = RenderSnapshotResponse(request.id, wal_->last_seq());
         break;
       }
     }

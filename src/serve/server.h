@@ -40,6 +40,7 @@
 #define GRGAD_SERVE_SERVER_H_
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,7 @@
 #include "src/serve/batcher.h"
 #include "src/serve/metrics.h"
 #include "src/serve/request.h"
+#include "src/serve/wal.h"
 #include "src/util/transport.h"
 
 namespace grgad {
@@ -63,6 +65,10 @@ struct ServeOptions {
   size_t max_queue = 64;
   /// Deadline applied to requests that carry no "timeout" (0 = none).
   double default_timeout_seconds = 0.0;
+  /// Durability root (WAL + snapshots live under it); "" = memory-only
+  /// serving, exactly the pre-durability behavior. The daemon only becomes
+  /// durable once EnableDurability() runs.
+  std::string state_dir;
 };
 
 class ServeDaemon {
@@ -77,6 +83,22 @@ class ServeDaemon {
   /// (per pipeline.serve_prewarm_workspaces) so the first request's
   /// candidate stage allocates nothing.
   void Prewarm();
+
+  /// Arms durability under options().state_dir: opens (or creates) the WAL,
+  /// restores `snapshot`'s tracker marks and refresh cache when one was
+  /// loaded (the caller already seeded the constructor with its graph and
+  /// artifacts), and replays the WAL tail above the snapshot's high-water
+  /// mark through the same apply/mark/refresh path live traffic takes — so
+  /// the daemon resumes bitwise identical to one that never crashed. Call
+  /// once, before Serve(); a failure means the durable state is unusable
+  /// and the caller must not serve from it.
+  Status EnableDurability(const LoadedServeSnapshot* snapshot);
+
+  /// Forces a snapshot now (graph + artifacts + tracker + refresh cache +
+  /// WAL high-water mark) and truncates the replayed WAL prefix. The
+  /// `snapshot` serve op, the cadence path, and graceful drain all land
+  /// here. FailedPrecondition when durability is not enabled.
+  Status SnapshotNow();
 
   /// Serves one session over `channel` until the peer closes the stream,
   /// `stop` fires, or a shutdown request lands — then drains every admitted
@@ -114,6 +136,19 @@ class ServeDaemon {
   /// every mutation dirties every anchor. Returns the fanout (all anchors).
   int MarkAllAnchors();
 
+  /// Applies one edge mutation with the correct mark ordering (add marks
+  /// after, remove marks before) — the single code path live requests AND
+  /// WAL replay go through, which is what makes recovery bitwise faithful.
+  bool ApplyEdgeMutation(bool add, int u, int v, int* fanout);
+
+  /// Replays one recovered WAL record through the live code paths.
+  Status ReplayWalRecord(const WalRecord& record);
+
+  /// Cadence check after an applied mutation: snapshot failures degrade to
+  /// a durability-error counter (the WAL still covers the session), never
+  /// a request failure.
+  void MaybeSnapshot();
+
   const Graph* graph_;
   PipelineArtifacts artifacts_;
   ServeOptions options_;
@@ -124,6 +159,11 @@ class ServeDaemon {
   AnchorDirtyTracker tracker_;
   RefreshState refresh_state_;
   MatrixArena arena_;  ///< Warm training buffers shared across requests.
+  // Durability (executor-thread-only, like the mutation state): the WAL
+  // every applied mutation/refresh/compact lands in before its ack, and
+  // the mutation count driving the snapshot cadence.
+  std::unique_ptr<WriteAheadLog> wal_;
+  uint64_t mutations_since_snapshot_ = 0;
   ServeMetrics metrics_;
   std::atomic<bool> shutdown_{false};
   std::atomic<RequestQueue*> live_queue_{nullptr};  ///< Depth gauge source.

@@ -1,0 +1,188 @@
+#include "src/util/atomic_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstring>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/fault.h"
+
+namespace grgad {
+
+std::string FormatExactDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatDoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return HexU64(bits);
+}
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("artifact/write"));
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << content;
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("artifact/read"));
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open: " + path);
+  // Sized read into the final buffer: rdbuf-to-stringstream doubles the
+  // copy, which recovery pays on every multi-megabyte snapshot file.
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IoError("cannot size: " + path);
+  std::string content(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  if (size > 0 && !in.read(content.data(), size)) {
+    return Status::IoError("cannot read: " + path);
+  }
+  return content;
+}
+
+Status FsyncPath(const std::string& path, bool is_dir) {
+  GRGAD_RETURN_IF_ERROR(FaultInjector::Global().Check("artifact/fsync"));
+  const int fd =
+      ::open(path.c_str(), is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+  return Status::Ok();
+}
+
+Status CommitDirReplace(const std::string& tmp, const std::string& target) {
+  namespace fs = std::filesystem;
+  const fs::path target_path(target);
+  const fs::path tmp_path(tmp);
+  const fs::path old(target + ".old");
+  std::error_code ec;
+  if (Status fault = FaultInjector::Global().Check("artifact/rename");
+      !fault.ok()) {
+    fs::remove_all(tmp_path, ec);
+    return fault;
+  }
+  fs::remove_all(old, ec);
+  ec.clear();
+  const bool had_target = fs::exists(target_path);
+  if (had_target) {
+    fs::rename(target_path, old, ec);
+    if (ec) {
+      std::error_code cleanup;
+      fs::remove_all(tmp_path, cleanup);
+      return Status::IoError("cannot move aside " + target + ": " +
+                             ec.message());
+    }
+  }
+  fs::rename(tmp_path, target_path, ec);
+  if (ec) {
+    std::error_code restore;
+    if (had_target) fs::rename(old, target_path, restore);
+    fs::remove_all(tmp_path, restore);
+    return Status::IoError("cannot commit " + tmp + " -> " + target + ": " +
+                           ec.message());
+  }
+  if (had_target) fs::remove_all(old, ec);
+  {
+    const fs::path parent = target_path.has_parent_path()
+                                ? target_path.parent_path()
+                                : fs::path(".");
+    const int fd = ::open(parent.string().c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Locale-free whitespace test. std::isspace is an opaque per-character
+/// libc call through the locale table; over a multi-megabyte snapshot that
+/// one call is the single largest parse cost.
+inline bool IsSpace(char c) {
+  return c == ' ' || (c >= '\t' && c <= '\r');
+}
+
+}  // namespace
+
+bool TokenScanner::Token(std::string_view* out) {
+  while (p_ < end_ && IsSpace(*p_)) ++p_;
+  if (p_ == end_) return false;
+  const char* start = p_;
+  while (p_ < end_ && !IsSpace(*p_)) ++p_;
+  *out = std::string_view(start, static_cast<size_t>(p_ - start));
+  return true;
+}
+
+bool TokenScanner::Keyword(std::string_view expected) {
+  std::string_view token;
+  return Token(&token) && token == expected;
+}
+
+bool TokenScanner::I64(long long* out) {
+  std::string_view token;
+  if (!Token(&token)) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool TokenScanner::F64(double* out) {
+  std::string_view token;
+  if (!Token(&token)) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool TokenScanner::F64Bits(double* out) {
+  std::string_view token;
+  if (!Token(&token) || token.size() != 16) return false;
+  uint64_t bits = 0;
+  int bad = 0;
+  for (char c : token) {
+    const int d = HexNibble(c);
+    bad |= d;
+    bits = (bits << 4) | static_cast<uint64_t>(d & 0xf);
+  }
+  if (bad < 0) return false;
+  std::memcpy(out, &bits, sizeof *out);
+  return true;
+}
+
+bool TokenScanner::AtEnd() {
+  while (p_ < end_ && IsSpace(*p_)) ++p_;
+  return p_ == end_;
+}
+
+}  // namespace grgad

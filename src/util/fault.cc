@@ -1,5 +1,7 @@
 #include "src/util/fault.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +20,8 @@ constexpr const char* kPointNames[] = {
     "artifact/write", "artifact/read",  "artifact/fsync",  "artifact/rename",
     "dataset/load",   "arena/alloc",    "parallel/dispatch",
     "od/ensemble-member", "serve/admit", "serve/execute",
+    "wal/pre-append", "wal/mid-append", "wal/post-append-pre-ack",
+    "snapshot/mid",   "snapshot/post-pre-truncate",
 };
 constexpr int kNumPoints =
     static_cast<int>(sizeof(kPointNames) / sizeof(kPointNames[0]));
@@ -31,6 +35,7 @@ struct PointState {
 
 struct InjectorState {
   std::atomic<bool> enabled{false};
+  bool crash_mode = false;
   uint64_t seed = 0;
   PointState points[kNumPoints];
   std::atomic<uint64_t> checked{0};
@@ -90,6 +95,7 @@ Status FaultInjector::Configure(const std::string& spec) {
   // Quiesce readers before mutating rates; checks in flight during a
   // Configure are a caller contract violation (see header).
   st.enabled.store(false, std::memory_order_release);
+  st.crash_mode = false;
   st.seed = 0;
   for (PointState& p : st.points) {
     p.rate = 0.0;
@@ -121,6 +127,14 @@ Status FaultInjector::Configure(const std::string& spec) {
       if (end == value.c_str() || *end != '\0') {
         return Status::InvalidArgument("fault spec: bad seed '" + value + "'");
       }
+      continue;
+    }
+    if (key == "crash") {
+      if (value != "0" && value != "1") {
+        return Status::InvalidArgument("fault spec: crash must be 0 or 1, "
+                                       "got '" + value + "'");
+      }
+      st.crash_mode = (value == "1");
       continue;
     }
     double rate = 0.0;
@@ -180,7 +194,16 @@ bool FaultInjector::Fires(const char* point) {
   const uint64_t mixed = SplitMix64Next(&h);
   const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
   const bool fire = u < p.rate;
-  if (fire) st.fired.fetch_add(1, std::memory_order_relaxed);
+  if (fire) {
+    st.fired.fetch_add(1, std::memory_order_relaxed);
+    // Crash mode turns the fired point into a deterministic kill site: the
+    // process dies mid-operation exactly as kill -9 would, except the kill
+    // instant is chosen by the spec. _exit (not exit) so no atexit handler
+    // or stream flush runs — the on-disk state is whatever the operation
+    // had durably written when the point fired. 137 = 128 + SIGKILL, the
+    // same status a real kill -9 yields, so harnesses treat both alike.
+    if (st.crash_mode) ::_exit(137);
+  }
   return fire;
 }
 

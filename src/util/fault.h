@@ -14,6 +14,11 @@
 //   GRGAD_FAULTS="seed=7,rate=0.02"                 every point at 2%
 //   GRGAD_FAULTS="seed=7,artifact/write=0.5"        one point at 50%
 //   GRGAD_FAULTS="seed=7,rate=0.01,artifact/rename=1"  global + override
+//   GRGAD_FAULTS="crash=1,wal/mid-append=1"         kill-point harness
+//
+// Crash mode (`crash=1`): a fired point calls _exit(137) instead of
+// returning an error — a deterministic stand-in for kill -9 at a chosen
+// instant, used by the crash-recovery sweep (tests/crash_recovery_test.cc).
 //
 // Known points (also PERF.md, "Robustness"):
 //   stage/anchors, stage/sampling, stage/embedding, stage/scoring
@@ -33,6 +38,19 @@
 //   serve/execute     a batched request fails before execution (injected
 //                     Internal — degrades that request only, never the
 //                     daemon)
+//   wal/pre-append    before a WAL record's first byte is written (the
+//                     mutation is applied in memory but never logged)
+//   wal/mid-append    between the two writes that frame a WAL record —
+//                     in crash mode this leaves a deterministic torn tail;
+//                     as an error the partial record is truncated away and
+//                     an IoError surfaces
+//   wal/post-append-pre-ack  after the record is durable but before the
+//                     client sees the ack (recovery MUST include the op)
+//   snapshot/mid      inside snapshot staging (torn snapshot is discarded
+//                     on load; the WAL still covers the session)
+//   snapshot/post-pre-truncate  after the snapshot commits but before the
+//                     replayed WAL prefix is truncated (replay must skip
+//                     records at or below the snapshot high-water mark)
 //
 // When disabled (the default) every check is a single relaxed atomic load.
 // Configure() must not race in-flight checks: configure between runs.

@@ -1,0 +1,369 @@
+// The kill-point sweep (PR 9 acceptance gate): a real `grgad serve
+// --state-dir` child process is crashed — _exit(137), indistinguishable
+// from kill -9 — at every durability fault point while absorbing live
+// churn, then the state directory is recovered in-process and compared,
+// byte for byte and double for double, against a daemon that never died.
+//
+// The contract per point:
+//   wal/pre-append            in-flight op NOT recovered (no WAL byte hit
+//                             disk before the crash),
+//   wal/mid-append            in-flight op NOT recovered (torn tail record,
+//                             truncated on recovery),
+//   wal/post-append-pre-ack   in-flight op IS recovered (durable but
+//                             unacked — at-least-once, resolved by replay),
+//   snapshot/mid              acked ops recovered via WAL (torn snapshot
+//                             tmp dir discarded),
+//   snapshot/post-pre-truncate acked ops recovered via the committed
+//                             snapshot; the stale WAL records below its
+//                             high-water mark must not double-replay.
+//
+// The child runs GRGAD_THREADS=1 while the in-process reference runs at
+// the ambient degree, so the sweep also enforces the cross-thread-count
+// half of the bitwise contract (CI runs ctest at the default and at
+// GRGAD_THREADS=4).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/artifacts.h"
+#include "src/core/method_registry.h"
+#include "src/core/pipeline.h"
+#include "src/core/stages.h"
+#include "src/data/registry.h"
+#include "src/serve/request.h"
+#include "src/serve/server.h"
+#include "src/serve/wal.h"
+#include "src/util/status.h"
+#include "src/util/transport.h"
+
+extern char** environ;
+
+namespace grgad {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The CLI binary, built next to the test binaries (ctest runs from the
+/// build directory).
+const char* kCliPath = "./grgad";
+
+/// Overrides shared by the child's --set flags and the in-process
+/// reference: cheap training, every append durable, snapshot every 2
+/// mutations (so the snapshot/* points fire mid-churn).
+const std::vector<std::string>& SharedOverrides() {
+  static const std::vector<std::string>* overrides =
+      new std::vector<std::string>{
+          "tpgcl.epochs=8",
+          "serve.wal_sync_every=1",
+          "serve.snapshot_every_mutations=2",
+      };
+  return *overrides;
+}
+
+TpGrGadOptions BaseOptions() {
+  auto options = BuildTpGrGadOptions(42, SharedOverrides());
+  EXPECT_TRUE(options.ok()) << options.status().ToString();
+  return options.ok() ? options.value() : TpGrGadOptions{};
+}
+
+const Dataset& TestDataset() {
+  static const Dataset* dataset = [] {
+    auto result = MakeDataset("example", DatasetOptions{});
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return new Dataset(result.ok() ? std::move(result).value() : Dataset{});
+  }();
+  return *dataset;
+}
+
+const PipelineArtifacts& TrainedArtifacts() {
+  static const PipelineArtifacts* artifacts = [] {
+    auto result = RunPipeline(TestDataset().graph, BaseOptions());
+    if (!result.ok()) {
+      ADD_FAILURE() << "seed training failed: " << result.status().ToString();
+      return new PipelineArtifacts();
+    }
+    return new PipelineArtifacts(std::move(result).value());
+  }();
+  return *artifacts;
+}
+
+/// Artifacts persisted once for the children's --in (bitwise the same
+/// resident state the in-process reference daemon holds).
+const std::string& SavedArtifactsDir() {
+  static const std::string* dir = [] {
+    const fs::path path =
+        fs::temp_directory_path() / "grgad_crash_test_artifacts";
+    fs::remove_all(path);
+    const Status saved = SaveArtifacts(TrainedArtifacts(), path.string());
+    EXPECT_TRUE(saved.ok()) << saved.ToString();
+    return new std::string(path.string());
+  }();
+  return *dir;
+}
+
+fs::path TempDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("grgad_crash_test_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string SanitizePointName(std::string point) {
+  for (char& c : point) {
+    if (c == '/' || c == '-') c = '_';
+  }
+  return point;
+}
+
+// ---- child process ----------------------------------------------------------
+
+struct ServeChild {
+  pid_t pid = -1;
+  std::unique_ptr<LineChannel> channel;  ///< Requests out, responses in.
+};
+
+/// Forks + execs `grgad serve` on stdio pipes with the crash fault armed.
+ServeChild SpawnServeChild(const std::string& state_dir,
+                           const std::string& fault_point) {
+  // envp is assembled before fork: only async-signal-safe calls may run
+  // between fork and exec in a threaded test binary.
+  std::vector<std::string> env_storage;
+  for (char** e = environ; *e != nullptr; ++e) {
+    const std::string entry(*e);
+    if (entry.rfind("GRGAD_FAULTS=", 0) == 0) continue;
+    if (entry.rfind("GRGAD_THREADS=", 0) == 0) continue;
+    env_storage.push_back(entry);
+  }
+  env_storage.push_back("GRGAD_FAULTS=crash=1," + fault_point + "=1");
+  env_storage.push_back("GRGAD_THREADS=1");
+  std::vector<char*> envp;
+  for (std::string& entry : env_storage) envp.push_back(entry.data());
+  envp.push_back(nullptr);
+
+  std::vector<std::string> arg_storage = {
+      kCliPath,     "serve",       "--dataset=example",
+      "--in",       SavedArtifactsDir(),
+      "--state-dir", state_dir,    "--quiet",
+  };
+  for (const std::string& override_kv : SharedOverrides()) {
+    arg_storage.push_back("--set");
+    arg_storage.push_back(override_kv);
+  }
+  std::vector<char*> argv;
+  for (std::string& arg : arg_storage) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  int c2s[2] = {-1, -1};
+  int s2c[2] = {-1, -1};
+  EXPECT_EQ(::pipe(c2s), 0);
+  EXPECT_EQ(::pipe(s2c), 0);
+
+  ServeChild child;
+  child.pid = ::fork();
+  if (child.pid == 0) {
+    ::dup2(c2s[0], STDIN_FILENO);
+    ::dup2(s2c[1], STDOUT_FILENO);
+    ::close(c2s[0]);
+    ::close(c2s[1]);
+    ::close(s2c[0]);
+    ::close(s2c[1]);
+    ::execve(kCliPath, argv.data(), envp.data());
+    ::_exit(127);  // exec failed.
+  }
+  ::close(c2s[0]);
+  ::close(s2c[1]);
+  child.channel = std::make_unique<LineChannel>(s2c[0], c2s[1],
+                                                /*own_fds=*/true);
+  return child;
+}
+
+/// Reaps the child and returns its wait status.
+int Reap(pid_t pid) {
+  int wait_status = 0;
+  EXPECT_EQ(::waitpid(pid, &wait_status, 0), pid);
+  return wait_status;
+}
+
+// ---- the sweep --------------------------------------------------------------
+
+std::string EdgeOp(int64_t id, bool add, int u, int v) {
+  return "{\"id\": " + std::to_string(id) + ", \"op\": \"" +
+         (add ? "add-edge" : "remove-edge") + "\", \"u\": " +
+         std::to_string(u) + ", \"v\": " + std::to_string(v) + "}";
+}
+
+std::vector<std::pair<int, int>> AbsentEdges(size_t count) {
+  const Graph& graph = TestDataset().graph;
+  std::vector<std::pair<int, int>> absent;
+  for (int a = 0; a < graph.num_nodes() && absent.size() < count; ++a) {
+    for (int b = a + 1; b < graph.num_nodes() && absent.size() < count; ++b) {
+      if (!graph.HasEdge(a, b)) absent.emplace_back(a, b);
+    }
+  }
+  EXPECT_EQ(absent.size(), count);
+  return absent;
+}
+
+std::string Exec(ServeDaemon* daemon, const std::string& line) {
+  auto request = ParseServeRequest(line);
+  EXPECT_TRUE(request.ok()) << line << ": " << request.status().ToString();
+  if (!request.ok()) return "";
+  return daemon->Execute(request.value());
+}
+
+std::unique_ptr<ServeDaemon> MakeReferenceDaemon() {
+  ServeOptions options;
+  options.pipeline = BaseOptions();
+  return std::make_unique<ServeDaemon>(TestDataset().graph, TrainedArtifacts(),
+                                       std::move(options));
+}
+
+struct Recovered {
+  std::unique_ptr<LoadedServeSnapshot> snapshot;
+  std::unique_ptr<ServeDaemon> daemon;
+};
+
+/// CmdServe's restart path in miniature (snapshot if committed, else the
+/// --in artifacts; EnableDurability replays the WAL tail).
+Recovered Recover(const std::string& state_dir) {
+  Recovered out;
+  ServeOptions options;
+  options.pipeline = BaseOptions();
+  options.state_dir = state_dir;
+  auto loaded = LoadServeSnapshot(state_dir);
+  if (loaded.ok()) {
+    out.snapshot =
+        std::make_unique<LoadedServeSnapshot>(std::move(loaded).value());
+    PipelineArtifacts artifacts = std::move(out.snapshot->artifacts);
+    out.daemon = std::make_unique<ServeDaemon>(
+        out.snapshot->graph, std::move(artifacts), std::move(options));
+  } else {
+    EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound)
+        << loaded.status().ToString();
+    out.daemon = std::make_unique<ServeDaemon>(
+        TestDataset().graph, TrainedArtifacts(), std::move(options));
+  }
+  const Status durable = out.daemon->EnableDurability(out.snapshot.get());
+  EXPECT_TRUE(durable.ok()) << durable.ToString();
+  return out;
+}
+
+void ExpectArtifactsBitwise(const PipelineArtifacts& a,
+                            const PipelineArtifacts& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.anchors, b.anchors);
+  EXPECT_EQ(a.candidate_groups, b.candidate_groups);
+  EXPECT_EQ(a.group_scores, b.group_scores);
+  ASSERT_EQ(a.scored_groups.size(), b.scored_groups.size());
+  for (size_t i = 0; i < a.scored_groups.size(); ++i) {
+    EXPECT_EQ(a.scored_groups[i].nodes, b.scored_groups[i].nodes);
+    EXPECT_EQ(a.scored_groups[i].score, b.scored_groups[i].score) << i;
+  }
+  ASSERT_EQ(a.group_embeddings.rows(), b.group_embeddings.rows());
+  ASSERT_EQ(a.group_embeddings.cols(), b.group_embeddings.cols());
+  for (size_t r = 0; r < a.group_embeddings.rows(); ++r) {
+    for (size_t c = 0; c < a.group_embeddings.cols(); ++c) {
+      ASSERT_EQ(a.group_embeddings(r, c), b.group_embeddings(r, c))
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, EveryKillPointRestartsBitwiseIdentical) {
+  if (!fs::exists(kCliPath)) {
+    GTEST_SKIP() << "grgad CLI not built next to the tests";
+  }
+  // A crashed child can leave this process writing into a dead pipe; that
+  // must be an EPIPE write error, not a fatal signal.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const auto edges = AbsentEdges(3);
+  // Churn with an applied mutation in every slot the cadence cares about:
+  // op 2 is the second applied mutation, so serve.snapshot_every_mutations=2
+  // triggers the snapshot (and its crash points) mid-stream.
+  const std::vector<std::string> churn = {
+      EdgeOp(1, true, edges[0].first, edges[0].second),
+      EdgeOp(2, true, edges[1].first, edges[1].second),
+      R"({"id": 3, "op": "refresh", "top": 3})",
+      EdgeOp(4, true, edges[2].first, edges[2].second),
+      EdgeOp(5, false, edges[0].first, edges[0].second),
+  };
+
+  struct Point {
+    const char* name;
+    bool in_flight_recovered;
+  };
+  const std::vector<Point> points = {
+      {"wal/pre-append", false},
+      {"wal/mid-append", false},
+      {"wal/post-append-pre-ack", true},
+      {"snapshot/mid", true},
+      {"snapshot/post-pre-truncate", true},
+  };
+
+  for (const Point& point : points) {
+    SCOPED_TRACE(point.name);
+    const fs::path state_dir = TempDir(SanitizePointName(point.name));
+
+    // Drive the child in lockstep — one request, one response — so "the
+    // in-flight op" is exactly the first unanswered one.
+    ServeChild child = SpawnServeChild(state_dir.string(), point.name);
+    std::vector<std::string> acked;
+    size_t sent = 0;
+    for (const std::string& op : churn) {
+      if (!child.channel->WriteLine(op).ok()) break;
+      ++sent;
+      std::string response;
+      bool eof = false;
+      if (!child.channel->ReadLine(&response, &eof).ok() || eof) break;
+      acked.push_back(response);
+    }
+    child.channel.reset();  // Closes the pipes.
+    const int wait_status = Reap(child.pid);
+    ASSERT_TRUE(WIFEXITED(wait_status)) << "signal "
+                                        << WTERMSIG(wait_status);
+    ASSERT_EQ(WEXITSTATUS(wait_status), 137)
+        << "the armed fault point never crashed the child";
+    ASSERT_LT(acked.size(), churn.size());
+    ASSERT_GE(sent, acked.size() + 1);
+
+    // The reference daemon that never died: the acked prefix, plus the
+    // in-flight op exactly when the point's durability ordering says it
+    // survived (WAL byte or snapshot hit disk before the crash).
+    auto reference = MakeReferenceDaemon();
+    std::vector<std::string> expected_acks;
+    for (size_t i = 0; i < acked.size(); ++i) {
+      expected_acks.push_back(Exec(reference.get(), churn[i]));
+    }
+    EXPECT_EQ(acked, expected_acks);
+    if (point.in_flight_recovered) {
+      (void)Exec(reference.get(), churn[acked.size()]);
+    }
+
+    Recovered restarted = Recover(state_dir.string());
+    EXPECT_EQ(restarted.daemon->dynamic_graph().num_edges(),
+              reference->dynamic_graph().num_edges());
+    ExpectArtifactsBitwise(restarted.daemon->artifacts(),
+                           reference->artifacts());
+    // Probes that consume every recovered double and every recovered dirty
+    // mark must render byte-identically.
+    for (const std::string& probe :
+         {std::string(R"({"id": 900, "op": "refresh", "top": 5})"),
+          std::string(
+              R"({"id": 901, "op": "rescore", "detector": "ensemble", "top": 5})")}) {
+      EXPECT_EQ(Exec(restarted.daemon.get(), probe),
+                Exec(reference.get(), probe));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grgad

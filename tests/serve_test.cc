@@ -447,9 +447,10 @@ TEST(ServeTest, MutationSessionRefreshesAndReportsMetrics) {
   EXPECT_NE(session.responses[4].find("\"pending_log\": 0"),
             std::string::npos)
       << session.responses[4];
-  // The metrics snapshot carries the v2 mutation counters.
-  EXPECT_NE(session.responses[5].find("\"grgad-serve-metrics-v2\""),
+  // The metrics snapshot carries the v3 mutation + durability counters.
+  EXPECT_NE(session.responses[5].find("\"grgad-serve-metrics-v3\""),
             std::string::npos);
+  EXPECT_NE(session.responses[5].find("\"durability\""), std::string::npos);
   EXPECT_NE(session.responses[5].find("\"mutations\""), std::string::npos);
   EXPECT_NE(session.responses[5].find("\"refreshes\": 1"), std::string::npos)
       << session.responses[5];

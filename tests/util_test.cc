@@ -2,12 +2,16 @@
 // persistent thread pool behind it.
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <set>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/util/atomic_io.h"
 #include "src/util/csv.h"
 #include "src/util/parallel.h"
 #include "src/util/rng.h"
@@ -315,6 +319,72 @@ TEST(ParallelTest, PartitionIsDeterministicPerDegree) {
   for (int run = 0; run < 5; ++run) {
     EXPECT_EQ(partition(1000, 16), partition(1000, 16));
   }
+}
+
+TEST(TokenScannerTest, TokensKeywordsAndNumbers) {
+  const std::string text = "header 42\n  -7 3.25\ttail";
+  TokenScanner in(text);
+  EXPECT_TRUE(in.Keyword("header"));
+  long long i = 0;
+  EXPECT_TRUE(in.I64(&i));
+  EXPECT_EQ(i, 42);
+  EXPECT_FALSE(in.AtEnd());
+  EXPECT_TRUE(in.I64(&i));
+  EXPECT_EQ(i, -7);
+  double d = 0.0;
+  EXPECT_TRUE(in.F64(&d));
+  EXPECT_EQ(d, 3.25);
+  std::string_view token;
+  EXPECT_TRUE(in.Token(&token));
+  EXPECT_EQ(token, "tail");
+  EXPECT_TRUE(in.AtEnd());
+  EXPECT_FALSE(in.Token(&token));
+}
+
+TEST(TokenScannerTest, RejectsPartialAndMalformedNumbers) {
+  // from_chars-style strictness: a numeric token must parse COMPLETELY, so
+  // "123abc" is damage, not the number 123 — the right posture for
+  // checksummed machine-written state.
+  long long i = 0;
+  double d = 0.0;
+  EXPECT_FALSE(TokenScanner(std::string_view("123abc")).I64(&i));
+  EXPECT_FALSE(TokenScanner(std::string_view("1.5x")).F64(&d));
+  EXPECT_FALSE(TokenScanner(std::string_view("")).I64(&i));
+  EXPECT_TRUE(TokenScanner(std::string_view(" \n\t ")).AtEnd());
+}
+
+TEST(TokenScannerTest, DoubleBitsRoundTripIsExact) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.0,
+                          3.141592653589793,
+                          -2.2250738585072014e-308,  // Smallest normal.
+                          4.9406564584124654e-324,   // Smallest subnormal.
+                          1.7976931348623157e308,    // Largest finite.
+                          0.1};
+  for (double v : cases) {
+    const std::string wire = FormatDoubleBits(v);
+    ASSERT_EQ(wire.size(), 16u) << v;
+    double back = 0.0;
+    TokenScanner in(wire);
+    ASSERT_TRUE(in.F64Bits(&back)) << wire;
+    uint64_t vbits = 0, bbits = 0;
+    std::memcpy(&vbits, &v, sizeof vbits);
+    std::memcpy(&bbits, &back, sizeof bbits);
+    EXPECT_EQ(vbits, bbits) << wire;  // Bitwise, so -0.0 and NaN-safe.
+  }
+}
+
+TEST(TokenScannerTest, DoubleBitsRejectsWrongWidthAndNonHex) {
+  double d = 0.0;
+  EXPECT_FALSE(TokenScanner(std::string_view("3ff")).F64Bits(&d));
+  EXPECT_FALSE(
+      TokenScanner(std::string_view("3fg0000000000000")).F64Bits(&d));
+  EXPECT_FALSE(
+      TokenScanner(std::string_view("3ff00000000000001")).F64Bits(&d));
+  EXPECT_TRUE(TokenScanner(std::string_view("3FF0000000000000")).F64Bits(&d));
+  EXPECT_EQ(d, 1.0);  // Upper-case hex decodes too.
 }
 
 TEST(TimerTest, MeasuresElapsed) {

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""CI gate over bench_results/micro.json (grgad-micro-v6).
+"""CI gate over bench_results/micro.json (grgad-micro-v7).
 
 Fails (exit 1) when:
-  - the schema is not grgad-micro-v6, or the candidates/kernels/scoring/
+  - the schema is not grgad-micro-v7, or the candidates/kernels/scoring/
     epochs/serve/mutations tables are missing or empty;
   - the candidates table lacks any of the required seed-vs-opt entries
     (sampler, pattern_search, augment), or the sampler entry reports a
@@ -15,6 +15,11 @@ Fails (exit 1) when:
     entries, or the refresh entry's incremental path is less than
     REFRESH_SPEEDUP_FLOOR (10x) faster than the full recompute (the PR's
     acceptance gate for dirty-anchor invalidation);
+  - the durability table lacks the wal_append / snapshot / replay entries,
+    or the replay entry (snapshot load + WAL tail replay, the daemon's
+    restart path) is less than REPLAY_SPEEDUP_FLOOR (5x) faster than
+    rebuilding the serving state from scratch on the same serving-dense
+    shape (the durability PR's acceptance gate);
   - any candidates or scoring entry's optimized path regresses more than
     REGRESSION_LIMIT (1.5x) against its frozen seed baseline on the runner.
 
@@ -28,9 +33,11 @@ import sys
 
 REGRESSION_LIMIT = 1.5
 REFRESH_SPEEDUP_FLOOR = 10.0
+REPLAY_SPEEDUP_FLOOR = 5.0
 REQUIRED_CANDIDATES = {"sampler", "pattern_search", "augment"}
 REQUIRED_SCORING = {"pairwise", "knn", "lof", "iforest", "ecod", "graphsnn"}
 REQUIRED_MUTATIONS = {"apply_edge", "invalidate", "refresh"}
+REQUIRED_DURABILITY = {"wal_append", "snapshot", "replay"}
 
 
 def check_gated_table(data, table, required, failures):
@@ -91,6 +98,36 @@ def check_mutations(data, failures):
                 f" (the mutation must dirty at least one anchor)")
 
 
+def check_durability(data, failures):
+    entries = {entry.get("name"): entry
+               for entry in data.get("durability") or []}
+    for missing in sorted(REQUIRED_DURABILITY - set(entries)):
+        failures.append(f"durability table is missing entry {missing!r}")
+
+    for name, entry in entries.items():
+        opt_ms = entry.get("opt_ms")
+        if not isinstance(opt_ms, (int, float)) or opt_ms <= 0:
+            failures.append(
+                f"durability entry {name!r} opt_ms = {opt_ms!r}, expected > 0")
+            continue
+        line = f"  durability {name:<11} opt {opt_ms:9.3f} ms"
+        if isinstance(entry.get("speedup"), (int, float)):
+            line += (f"   seed {entry.get('seed_ms', 0.0):9.3f} ms"
+                     f"   {entry['speedup']:.2f}x")
+        print(line)
+
+    replay = entries.get("replay")
+    if replay is not None:
+        speedup = replay.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            failures.append("durability replay entry has no speedup")
+        elif speedup < REPLAY_SPEEDUP_FLOOR:
+            failures.append(
+                f"crash-recovery replay speedup {speedup:.2f}x is below the"
+                f" {REPLAY_SPEEDUP_FLOOR}x acceptance floor (restart must"
+                f" beat a from-scratch rebuild)")
+
+
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_results/micro.json"
     with open(path) as f:
@@ -98,17 +135,18 @@ def main() -> int:
 
     failures = []
     schema = data.get("schema")
-    if schema != "grgad-micro-v6":
-        failures.append(f"schema is {schema!r}, expected 'grgad-micro-v6'")
+    if schema != "grgad-micro-v7":
+        failures.append(f"schema is {schema!r}, expected 'grgad-micro-v7'")
 
     for table in ("candidates", "kernels", "scoring", "epochs", "serve",
-                  "mutations"):
+                  "mutations", "durability"):
         if not data.get(table):
             failures.append(f"table {table!r} is missing or empty")
 
     check_gated_table(data, "candidates", REQUIRED_CANDIDATES, failures)
     check_gated_table(data, "scoring", REQUIRED_SCORING, failures)
     check_mutations(data, failures)
+    check_durability(data, failures)
 
     for entry in data.get("candidates") or []:
         if entry.get("name") != "sampler":
@@ -140,9 +178,10 @@ def main() -> int:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print(f"OK: {path} is grgad-micro-v6 with complete candidates/scoring/"
-          f"serve/mutations tables, 0 steady-state sampler workspace allocs, "
-          f"incremental refresh >= {REFRESH_SPEEDUP_FLOOR}x, and no opt "
+    print(f"OK: {path} is grgad-micro-v7 with complete candidates/scoring/"
+          f"serve/mutations/durability tables, 0 steady-state sampler workspace "
+          f"allocs, incremental refresh >= {REFRESH_SPEEDUP_FLOOR}x, "
+          f"crash-recovery replay >= {REPLAY_SPEEDUP_FLOOR}x, and no opt "
           f"regression beyond {REGRESSION_LIMIT}x")
     return 0
 

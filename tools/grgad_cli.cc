@@ -12,15 +12,20 @@
 //       Reloads saved artifacts and re-runs ONLY the scoring stage with a
 //       different outlier detector — no re-training.
 //   grgad serve --dataset=example [--in artifacts/] [--socket PATH]
+//               [--state-dir state/]
 //       Resident daemon: loads the dataset (and artifacts, or trains them)
 //       once, then answers newline-delimited JSON requests — anchor-score /
 //       rescore / what-if / stats / shutdown, plus the live-mutation ops
-//       add-edge / remove-edge / refresh / compact — over a unix socket or
-//       stdin/stdout, batching queued requests per tick. SIGTERM drains
+//       add-edge / remove-edge / refresh / compact / sync / snapshot — over
+//       a unix socket or stdin/stdout, batching queued requests per tick.
+//       --state-dir adds durability: applied mutations hit a checksummed
+//       WAL before the ack, snapshots truncate it, and a restart (clean or
+//       kill -9) recovers to the exact acked state. SIGTERM drains
 //       in-flight requests and exits 0.
 //   grgad query --socket PATH 'JSON' ['JSON' ...]
-//       One-shot client for the daemon (waits for it to come up, writes the
-//       request lines, prints one response line each).
+//       One-shot client for the daemon (retries the connect until the
+//       daemon accepts or the window expires — exit 124 — then writes the
+//       request lines and prints one response line each).
 //
 // All configuration is string-keyed through the method registry, so this
 // binary needs no per-method flag wiring.
@@ -30,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +49,7 @@
 #include "src/data/registry.h"
 #include "src/od/detector.h"
 #include "src/serve/server.h"
+#include "src/serve/wal.h"
 #include "src/util/fault.h"
 #include "src/util/parallel.h"
 #include "src/util/retry.h"
@@ -139,6 +146,7 @@ struct Args {
   std::string socket_path;         // Unix socket; serve defaults to stdio.
   int max_queue = 64;              // serve: admission-queue bound.
   std::string metrics_out;         // serve: metrics JSON dump at exit.
+  std::string state_dir;           // serve: durable state (WAL + snapshots).
   double wait = 15.0;              // query: daemon connect window (seconds).
   std::vector<std::string> requests;  // query: positional request lines.
 };
@@ -242,6 +250,7 @@ bool ParseArgs(int argc, char** argv, Args* args, std::string* error) {
     }
     if (ParseFlag(argc, argv, &i, "socket", &args->socket_path)) continue;
     if (ParseFlag(argc, argv, &i, "metrics-out", &args->metrics_out)) continue;
+    if (ParseFlag(argc, argv, &i, "state-dir", &args->state_dir)) continue;
     if (ParseFlag(argc, argv, &i, "max-queue", &value)) {
       if (!ParseIntValue(value, &args->max_queue) || args->max_queue < 1) {
         *error = "--max-queue: expected a positive integer, got '" + value +
@@ -293,7 +302,8 @@ void PrintUsage() {
       "  grgad serve --dataset=NAME [--in DIR] [--socket PATH]\n"
       "              [--detector=ecod] [--seed=42] [--set key=value ...]\n"
       "              [--max-queue=64] [--timeout=SECONDS]\n"
-      "              [--metrics-out PATH] [--threads=N] [--quiet]\n"
+      "              [--metrics-out PATH] [--state-dir DIR] [--threads=N]\n"
+      "              [--quiet]\n"
       "      Resident daemon over newline-delimited JSON. Loads the "
       "dataset\n"
       "      once, loads --in artifacts (or trains them), prewarms "
@@ -307,10 +317,22 @@ void PrintUsage() {
       "--timeout\n"
       "      is the default per-request deadline; SIGTERM drains and exits "
       "0.\n"
-      "  grgad query --socket PATH [--wait 15] 'JSON' ['JSON' ...]\n"
-      "      Client for serve: waits up to --wait seconds for the daemon,\n"
-      "      sends each request line, prints one response line per "
-      "request.\n\n"
+      "      --state-dir DIR makes the daemon durable: every applied "
+      "mutation\n"
+      "      is written to a checksummed write-ahead log before it is "
+      "acked\n"
+      "      (fsync batching via --set serve.wal_sync_every=N), snapshots\n"
+      "      compact the log (--set serve.snapshot_every_mutations=N, plus\n"
+      "      the explicit sync/snapshot ops), and a restart — even after\n"
+      "      kill -9 — replays the WAL tail and resumes bitwise-identical.\n"
+      "  grgad query --socket PATH [--wait 15] [--timeout SECONDS]\n"
+      "              'JSON' ['JSON' ...]\n"
+      "      Client for serve: retries the connect with seeded backoff "
+      "until\n"
+      "      the daemon accepts or the window (--timeout, else --wait)\n"
+      "      expires — exit 124 on expiry — then sends each request line "
+      "and\n"
+      "      prints one response line per request.\n\n"
       "--timeout=SECONDS arms a run deadline polled at every stage\n"
       "boundary, training epoch, and anchor chunk; an expired deadline\n"
       "unwinds cleanly and exits with code 124 (timeout(1) convention).\n"
@@ -651,8 +673,36 @@ int CmdServe(const Args& args) {
   *GlobalCancelToken() = startup_ctx.cancel_token();
   HookStopSignals(true);
 
+  // Durable restart: a committed snapshot under --state-dir supersedes both
+  // --in and training — the daemon resumes from the mutated graph + resident
+  // artifacts it last persisted (plus the WAL tail, replayed after
+  // construction). `snapshot` must outlive `daemon`, which borrows its graph.
+  std::unique_ptr<LoadedServeSnapshot> snapshot;
+  if (!args.state_dir.empty()) {
+    auto loaded = LoadServeSnapshot(args.state_dir);
+    if (loaded.ok()) {
+      snapshot =
+          std::make_unique<LoadedServeSnapshot>(std::move(loaded).value());
+      if (!args.quiet) {
+        std::fprintf(stderr,
+                     "serve: recovered snapshot <- %s (wal_seq=%llu, %zu "
+                     "groups)\n",
+                     args.state_dir.c_str(),
+                     static_cast<unsigned long long>(snapshot->wal_seq),
+                     snapshot->artifacts.candidate_groups.size());
+      }
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      // A torn or corrupt snapshot is typed DataLoss — refuse to serve from
+      // it rather than silently retraining over surviving durable state.
+      HookStopSignals(false);
+      return FailWith(args, "serve", loaded.status());
+    }
+  }
+
   PipelineArtifacts artifacts;
-  if (!args.in_dir.empty()) {
+  if (snapshot != nullptr) {
+    artifacts = std::move(snapshot->artifacts);
+  } else if (!args.in_dir.empty()) {
     Retryer load_retryer{RetryPolicy{}};
     load_retryer.set_retryable(ArtifactLoadRetryable);
     auto loaded = load_retryer.RunResult<PipelineArtifacts>(
@@ -682,7 +732,20 @@ int CmdServe(const Args& args) {
   serve_options.pipeline = options.value();
   serve_options.max_queue = static_cast<size_t>(args.max_queue);
   serve_options.default_timeout_seconds = args.timeout;
-  ServeDaemon daemon(d.graph, std::move(artifacts), serve_options);
+  serve_options.state_dir = args.state_dir;
+  ServeDaemon daemon(snapshot != nullptr ? snapshot->graph : d.graph,
+                     std::move(artifacts), serve_options);
+  if (!args.state_dir.empty()) {
+    // Opens (or creates) the WAL, replays the unsnapshotted tail through the
+    // live mutation path, and truncates any torn record. Failures here are
+    // startup failures: serving non-durably when durability was requested
+    // would break the crash-recovery contract silently.
+    const Status durable = daemon.EnableDurability(snapshot.get());
+    if (!durable.ok()) {
+      HookStopSignals(false);
+      return FailWith(args, "serve", durable);
+    }
+  }
   daemon.Prewarm();
 
   // The serving stop token is fresh: SIGTERM from here on means "drain and
@@ -724,6 +787,16 @@ int CmdServe(const Args& args) {
   }
   HookStopSignals(false);
 
+  if (!args.state_dir.empty()) {
+    // Fold the drained WAL into a final snapshot so the next start replays
+    // nothing. Best-effort: the WAL already covers everything acked.
+    const Status final_snapshot = daemon.SnapshotNow();
+    if (!final_snapshot.ok() && !args.quiet) {
+      std::fprintf(stderr, "serve: final snapshot failed: %s\n",
+                   final_snapshot.ToString().c_str());
+    }
+  }
+
   if (!args.metrics_out.empty()) {
     std::ofstream out(args.metrics_out, std::ios::trunc);
     out << daemon.MetricsJson() << "\n";
@@ -747,8 +820,36 @@ int CmdQuery(const Args& args) {
                  "positional JSON request\n");
     return 2;
   }
-  auto fd = ConnectUnixSocket(args.socket_path, args.wait);
-  if (!fd.ok()) return FailWith(args, "query", fd.status());
+  // Connect window: --timeout (when set) wins over the legacy --wait
+  // default, so `grgad query --timeout 3` behaves like every other CLI
+  // deadline. ConnectUnixSocket already polls a not-yet-listening socket;
+  // the seeded Retryer on top rides out transient connect errors (a stale
+  // socket file from a crashed daemon, injected faults) with the same
+  // deterministic backoff as every other retried I/O path. Expiry is always
+  // typed kDeadlineExceeded — exit 124, never a raw connect error.
+  const double window = args.timeout > 0.0 ? args.timeout : args.wait;
+  Timer connect_timer;
+  Retryer connect_retryer{RetryPolicy{}};
+  connect_retryer.set_retryable([&](const Status& status) {
+    return DefaultRetryable(status) && connect_timer.ElapsedSeconds() < window;
+  });
+  auto fd = connect_retryer.RunResult<int>([&]() -> Result<int> {
+    const double remaining = window - connect_timer.ElapsedSeconds();
+    if (remaining <= 0.0) {
+      return Status::DeadlineExceeded("daemon connect window expired");
+    }
+    return ConnectUnixSocket(args.socket_path, remaining);
+  });
+  if (!fd.ok()) {
+    Status status = fd.status();
+    if (status.code() != StatusCode::kDeadlineExceeded &&
+        connect_timer.ElapsedSeconds() >= window) {
+      status = Status::DeadlineExceeded(
+          "daemon did not accept " + args.socket_path + " within " +
+          JsonNumber(window) + "s: " + status.ToString());
+    }
+    return FailWith(args, "query", status);
+  }
   LineChannel channel(fd.value(), fd.value(), /*own_fds=*/true);
   for (const std::string& request : args.requests) {
     const Status written = channel.WriteLine(request);
